@@ -1,0 +1,67 @@
+// Ablation: the configuration delay (paper section 4.2: "The configuration
+// action does not take effect immediately... The effect of such delay on
+// reconfiguration operations is part of our future work").
+//
+// We measure it: with N threads pre-registered on the old (FCFS) scheduler,
+// how long after configure_scheduler() does the new scheduler actually take
+// effect? The delay is the time to drain the pre-registered queue, so it
+// grows with queue depth and with critical-section length.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relock/core/configurable_lock.hpp"
+#include "relock/sim/machine.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+  using sim::Machine;
+  using sim::MachineParams;
+  using sim::ProcId;
+  using sim::SimPlatform;
+  using sim::Thread;
+
+  bench::print_header("Ablation: configuration delay vs. queue depth",
+                      "section 4.2 (future work)");
+  std::printf("%-14s %-14s %18s\n", "queued", "cs-length(us)",
+              "config delay (us)");
+
+  for (const std::uint32_t waiters : {1u, 2u, 4u, 8u, 16u}) {
+    for (const Nanos cs : {50'000u, 200'000u}) {
+      Machine m(MachineParams::butterfly());
+      ConfigurableLock<SimPlatform>::Options o;
+      o.scheduler = SchedulerKind::kFcfs;
+      o.placement = Placement::on(0);
+      ConfigurableLock<SimPlatform> lock(m, o);
+
+      Nanos configured_at = 0;
+      Nanos installed_at = 0;
+
+      // Holder: waits for everyone to queue, reconfigures, releases.
+      m.spawn(0, [&](Thread& t) {
+        lock.lock(t);
+        while (lock.waiter_count() < waiters) m.compute(t, 2000);
+        lock.configure_scheduler(t, SchedulerKind::kPriorityQueue);
+        configured_at = m.now();
+        lock.unlock(t);
+      });
+      for (std::uint32_t i = 0; i < waiters; ++i) {
+        m.spawn(static_cast<ProcId>(1 + i), [&, i](Thread& t) {
+          m.compute(t, 1000 * (i + 1));
+          lock.lock(t);
+          m.compute(t, cs);
+          lock.unlock(t);
+          if (!lock.reconfiguration_pending() && installed_at == 0) {
+            installed_at = m.now();
+          }
+        });
+      }
+      m.run();
+      std::printf("%-14u %-14.0f %18.1f\n", waiters, to_us(cs),
+                  to_us(installed_at - configured_at));
+    }
+  }
+  std::printf("\nThe delay is the drain time of the pre-registered queue:\n"
+              "it scales with queue depth x critical-section length.\n");
+  return 0;
+}

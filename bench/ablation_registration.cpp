@@ -1,0 +1,42 @@
+// Ablation: the cost of registration (paper section 3.2 claims "the
+// registration overhead in the configurable lock implementation is the cost
+// of one write operation on primary memory").
+//
+// We compare, on the simulated machine:
+//   - raw atomior (the bare acquisition primitive),
+//   - the TAS spin lock (atomior + loop),
+//   - the configurable lock's uncontended fast path (atomior + the owner
+//     registration write),
+// and, for the contended path, the additional cost of the registration
+// write + policy read relative to queueing alone.
+#include "lock_cost_common.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+
+  bench::print_header("Ablation: registration cost", "section 3.2");
+
+  const double atomior = measure_atomior_us(0);
+  auto spin = [](Machine& m, Placement p) {
+    return std::make_unique<TasLock<SimPlatform>>(m, p);
+  };
+  auto configurable = [](Machine& m, Placement p) {
+    return std::make_unique<ConfigurableLock<SimPlatform>>(
+        m, configurable_options(p));
+  };
+  auto lock_op = [](auto& l, Thread& t) { l.lock(t); };
+  auto unlock_op = [](auto& l, Thread& t) { l.unlock(t); };
+
+  const double tas = measure_op_us(0, spin, lock_op, unlock_op);
+  const double conf = measure_op_us(0, configurable, lock_op, unlock_op);
+
+  std::printf("raw atomior:                    %7.2f us\n", atomior);
+  std::printf("TAS spin lock (lock op):        %7.2f us\n", tas);
+  std::printf("configurable lock (lock op):    %7.2f us\n", conf);
+  std::printf("=> registration overhead:       %7.2f us "
+              "(one local write is %.2f us on this machine)\n",
+              conf - tas,
+              (3000.0 + 2000.0) / 1000.0);  // write_local + op_overhead
+  return 0;
+}

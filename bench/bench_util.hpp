@@ -1,0 +1,67 @@
+// Shared helpers for the paper-reproduction benches: the calibrated
+// Butterfly machine, microsecond formatting, and paper-style table output.
+//
+// Every bench prints the rows/series of one table or figure from
+// Mukherjee & Schwan, "Experiments with Configurable Locks for
+// Multiprocessors" (GIT-CC-93/05). Where the paper reports absolute values
+// we print them alongside as "paper" columns; EXPERIMENTS.md records the
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "relock/platform/types.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::bench {
+
+inline double to_us(Nanos ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// Benchmark scale factor (RELOCK_BENCH_SCALE env var): multiplies
+/// iteration counts; 1 = quick defaults suitable for CI.
+inline std::uint32_t scale() {
+  static const std::uint32_t s = [] {
+    const char* e = std::getenv("RELOCK_BENCH_SCALE");
+    const long v = e != nullptr ? std::strtol(e, nullptr, 10) : 1;
+    return static_cast<std::uint32_t>(v > 0 ? v : 1);
+  }();
+  return s;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s of Mukherjee & Schwan, GIT-CC-93/05, ICPP 1993)\n",
+              paper_ref);
+  std::printf("machine: simulated 32-node BBN Butterfly GP1000 (virtual time)\n");
+  std::printf("==============================================================================\n");
+}
+
+inline void print_row3(const char* name, double local_us, double remote_us,
+                       double paper_local, double paper_remote) {
+  std::printf("%-28s %10.2f %10.2f   | %8.2f %8.2f\n", name, local_us,
+              remote_us, paper_local, paper_remote);
+}
+
+/// Mean of per-operation samples collected inside the simulator.
+class MeanAccumulator {
+ public:
+  void add(Nanos v) {
+    sum_ += v;
+    ++n_;
+  }
+  [[nodiscard]] double mean_ns() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(n_);
+  }
+  [[nodiscard]] double mean_us() const { return mean_ns() / 1000.0; }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace relock::bench

@@ -1,0 +1,57 @@
+// Shared harness for Tables 4 and 5: the cost of a "locking cycle" - an
+// unlock followed by a lock on an already locked lock. Thread A holds the
+// lock, thread B waits for it under the waiting policy being measured; the
+// cycle is the virtual time from A starting its unlock to B completing its
+// lock. This is the paper's "idle state" duration of the lock.
+#pragma once
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::bench {
+
+using sim::Machine;
+using sim::MachineParams;
+using sim::SimPlatform;
+using sim::Thread;
+
+/// `lock_fn(l, t)` / `unlock_fn(l, t)` drive the lock under test.
+template <typename L>
+double measure_cycle_us(Machine& m, L& lock, std::uint32_t rounds = 40,
+                        Nanos settle = 400'000) {
+  struct Handshake {
+    std::uint32_t a_round = 0;    ///< A holds the lock for round N
+    std::uint32_t b_ready = 0;    ///< B is about to wait for round N
+    std::uint32_t b_finished = 0; ///< B completed round N
+    Nanos release_start = 0;
+  } hs;
+  MeanAccumulator acc;
+
+  m.spawn(0, [&](Thread& t) {  // A: the holder/releaser
+    for (std::uint32_t r = 1; r <= rounds; ++r) {
+      lock.lock(t);
+      hs.a_round = r;
+      while (hs.b_ready != r) m.compute(t, 2000);
+      m.compute(t, settle);  // let B descend fully into its waiting mode
+      hs.release_start = m.now();
+      lock.unlock(t);
+      while (hs.b_finished != r) m.compute(t, 2000);
+    }
+  });
+  m.spawn(1, [&](Thread& t) {  // B: the waiter
+    for (std::uint32_t r = 1; r <= rounds; ++r) {
+      while (hs.a_round != r) m.compute(t, 2000);
+      hs.b_ready = r;
+      lock.lock(t);
+      acc.add(m.now() - hs.release_start);
+      lock.unlock(t);
+      hs.b_finished = r;
+    }
+  });
+  m.run();
+  return acc.mean_us();
+}
+
+}  // namespace relock::bench

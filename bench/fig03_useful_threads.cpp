@@ -1,0 +1,60 @@
+// Figure 3: CS length vs. execution time when each processor also runs a
+// "useful" thread capable of making progress. Spinning steals the useful
+// threads' cycles, so blocking wins beyond a cross-over point that
+// corresponds to the blocking overhead of the machine.
+#include "figures_common.hpp"
+#include "relock/locks/blocking_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+  using sim::Machine;
+  using sim::MachineParams;
+  using sim::SimPlatform;
+
+  bench::print_header(
+      "Figure 3: CS length vs. application time with useful threads",
+      "Figure 3");
+
+  auto config_for = [](Nanos cs) {
+    CsWorkloadConfig cfg;
+    cfg.locking_threads = 8;  // 8 processors locking...
+    cfg.iterations = 8 * scale();
+    cfg.arrival = ArrivalProcess::smooth(Sampler::uniform(0, 4'000'000));
+    cfg.cs_length = Sampler::constant(cs);
+    cfg.useful_threads_per_proc = 1;  // ...each shared with a useful thread
+    cfg.useful_work_total = 100'000'000;  // 100ms of real work per processor
+    cfg.useful_work_chunk = 250'000;
+    return cfg;
+  };
+
+  std::vector<Series> series;
+  series.push_back({"spin", [&](Nanos cs) {
+    Machine m(MachineParams::butterfly());
+    TtasLock<SimPlatform> lock(m, Placement::on(0));
+    return workload::run_cs_workload(m, lock, config_for(cs)).elapsed;
+  }});
+  series.push_back({"blocking", [&](Nanos cs) {
+    Machine m(MachineParams::butterfly());
+    BlockingLock<SimPlatform> lock(m, Placement::on(0));
+    return workload::run_cs_workload(m, lock, config_for(cs)).elapsed;
+  }});
+
+  std::vector<std::vector<double>> table;
+  print_figure(default_cs_sweep(), series, &table);
+
+  // Locate the cross-over.
+  const auto& sweep = default_cs_sweep();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (table[1][i] < table[0][i]) {
+      std::printf("\ncross-over: blocking overtakes spin at cs-length ~%.0fus"
+                  " (paper: at the additional overhead of blocking)\n",
+                  to_us(sweep[i]));
+      return 0;
+    }
+  }
+  std::printf("\nno cross-over within the sweep (expected one; see "
+              "EXPERIMENTS.md)\n");
+  return 0;
+}

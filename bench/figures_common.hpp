@@ -1,0 +1,50 @@
+// Shared harness for the figure benches: sweeps critical-section length
+// across lock configurations on the Butterfly machine and prints the
+// series the paper plots (application execution time vs. CS length).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "relock/workload/cs_workload.hpp"
+
+namespace relock::bench {
+
+using workload::ArrivalProcess;
+using workload::CsWorkloadConfig;
+using workload::Sampler;
+
+/// Default CS-length sweep (ns): 25us .. 1.6ms.
+inline std::vector<Nanos> default_cs_sweep() {
+  return {25'000, 50'000, 100'000, 200'000, 400'000, 800'000, 1'600'000};
+}
+
+struct Series {
+  const char* name;
+  /// Builds a fresh machine + lock and runs the workload for one CS length.
+  std::function<Nanos(Nanos cs_len)> run;
+};
+
+inline void print_figure(const std::vector<Nanos>& sweep,
+                         const std::vector<Series>& series,
+                         std::vector<std::vector<double>>* out_ms = nullptr) {
+  std::printf("%-14s", "cs-length(us)");
+  for (const Series& s : series) std::printf(" %16s", s.name);
+  std::printf("\n");
+  std::vector<std::vector<double>> table(series.size());
+  for (const Nanos cs : sweep) {
+    std::printf("%-14.0f", to_us(cs));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const double ms = static_cast<double>(series[i].run(cs)) / 1e6;
+      table[i].push_back(ms);
+      std::printf(" %14.2fms", ms);
+    }
+    std::printf("\n");
+  }
+  if (out_ms != nullptr) *out_ms = std::move(table);
+}
+
+}  // namespace relock::bench

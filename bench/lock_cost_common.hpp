@@ -1,0 +1,70 @@
+// Shared measurement harness for Tables 2 and 3: uncontended lock/unlock
+// operation latency for every lock implementation, with the lock word in
+// local vs. remote memory.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "relock/core/configurable_lock.hpp"
+#include "relock/locks/blocking_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::bench {
+
+using sim::Machine;
+using sim::MachineParams;
+using sim::SimPlatform;
+using sim::Thread;
+
+inline ConfigurableLock<SimPlatform>::Options configurable_options(
+    Placement where) {
+  ConfigurableLock<SimPlatform>::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  // "a lock operation for configurable locks initially spins for the lock
+  // before deciding to block the requesting thread".
+  o.attributes = LockAttributes::combined(10, kForever);
+  o.placement = where;
+  return o;
+}
+
+/// Measures the mean cost of `op(lock, thread)` over `iters` uncontended
+/// iterations, running on processor 0 with the lock on `node`.
+template <typename MakeLock, typename Op, typename Cleanup>
+double measure_op_us(int node, MakeLock make_lock, Op op, Cleanup cleanup,
+                     std::uint32_t iters = 200) {
+  Machine m(MachineParams::butterfly());
+  auto lock = make_lock(m, Placement::on(node));
+  MeanAccumulator acc;
+  m.spawn(0, [&](Thread& t) {
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      const Nanos t0 = m.now();
+      op(*lock, t);
+      acc.add(m.now() - t0);
+      cleanup(*lock, t);
+    }
+  });
+  m.run();
+  return acc.mean_us();
+}
+
+/// Raw atomior: the hardware primitive all the locks build on.
+inline double measure_atomior_us(int node) {
+  Machine m(MachineParams::butterfly());
+  sim::SimWord w(m, 0, Placement::on(node));
+  MeanAccumulator acc;
+  m.spawn(0, [&](Thread& t) {
+    for (int i = 0; i < 200; ++i) {
+      const Nanos t0 = m.now();
+      SimPlatform::fetch_or(t, w, 1);
+      acc.add(m.now() - t0);
+      SimPlatform::store(t, w, 0);
+    }
+  });
+  m.run();
+  return acc.mean_us();
+}
+
+}  // namespace relock::bench

@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks of the native lock implementations on
+// the host hardware: uncontended lock+unlock latency for every baseline
+// lock and the main configurable-lock configurations.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/locks/anderson_lock.hpp"
+#include "relock/locks/blocking_lock.hpp"
+#include "relock/locks/clh_lock.hpp"
+#include "relock/locks/mcs_lock.hpp"
+#include "relock/locks/rw_spin_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+#include "relock/locks/ticket_lock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace {
+
+using namespace relock;
+using NP = native::NativePlatform;
+
+template <typename L, typename Make>
+void bench_lock(benchmark::State& state, Make make) {
+  native::Domain domain;
+  native::Context ctx(domain);
+  auto lock = make(domain);
+  for (auto _ : state) {
+    lock->lock(ctx);
+    benchmark::DoNotOptimize(lock.get());
+    lock->unlock(ctx);
+  }
+}
+
+void BM_TasLock(benchmark::State& s) {
+  bench_lock<TasLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<TasLock<NP>>(d);
+  });
+}
+void BM_TtasLock(benchmark::State& s) {
+  bench_lock<TtasLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<TtasLock<NP>>(d);
+  });
+}
+void BM_BackoffSpinLock(benchmark::State& s) {
+  bench_lock<BackoffSpinLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<BackoffSpinLock<NP>>(d);
+  });
+}
+void BM_TicketLock(benchmark::State& s) {
+  bench_lock<TicketLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<TicketLock<NP>>(d);
+  });
+}
+void BM_McsLock(benchmark::State& s) {
+  bench_lock<McsLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<McsLock<NP>>(d, Placement::any(), 64);
+  });
+}
+void BM_ClhLock(benchmark::State& s) {
+  bench_lock<ClhLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<ClhLock<NP>>(d, Placement::any(), 64);
+  });
+}
+void BM_AndersonArrayLock(benchmark::State& s) {
+  bench_lock<AndersonArrayLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<AndersonArrayLock<NP>>(d, 64, Placement::any(),
+                                                   64);
+  });
+}
+void BM_BlockingLock(benchmark::State& s) {
+  bench_lock<BlockingLock<NP>>(s, [](native::Domain& d) {
+    return std::make_unique<BlockingLock<NP>>(d);
+  });
+}
+
+void BM_ConfigurableSpin(benchmark::State& s) {
+  bench_lock<ConfigurableLock<NP>>(s, [](native::Domain& d) {
+    ConfigurableLock<NP>::Options o;
+    o.scheduler = SchedulerKind::kNone;
+    o.attributes = LockAttributes::spin();
+    return std::make_unique<ConfigurableLock<NP>>(d, o);
+  });
+}
+void BM_ConfigurableFcfsCombined(benchmark::State& s) {
+  bench_lock<ConfigurableLock<NP>>(s, [](native::Domain& d) {
+    ConfigurableLock<NP>::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.attributes = LockAttributes::combined(100);
+    return std::make_unique<ConfigurableLock<NP>>(d, o);
+  });
+}
+void BM_ConfigurableMonitored(benchmark::State& s) {
+  bench_lock<ConfigurableLock<NP>>(s, [](native::Domain& d) {
+    ConfigurableLock<NP>::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.monitor_enabled = true;
+    return std::make_unique<ConfigurableLock<NP>>(d, o);
+  });
+}
+void BM_ConfigurableRecursive(benchmark::State& s) {
+  bench_lock<ConfigurableLock<NP>>(s, [](native::Domain& d) {
+    ConfigurableLock<NP>::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.recursive = true;
+    return std::make_unique<ConfigurableLock<NP>>(d, o);
+  });
+}
+
+void BM_RwSpinLockShared(benchmark::State& state) {
+  native::Domain domain;
+  native::Context ctx(domain);
+  RwSpinLock<NP> lock(domain);
+  for (auto _ : state) {
+    lock.lock_shared(ctx);
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock_shared(ctx);
+  }
+}
+
+void BM_ConfigureWaiting(benchmark::State& state) {
+  native::Domain domain;
+  native::Context ctx(domain);
+  ConfigurableLock<NP>::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  ConfigurableLock<NP> lock(domain, o);
+  bool spin = false;
+  for (auto _ : state) {
+    lock.configure_waiting(ctx, spin ? LockAttributes::spin()
+                                     : LockAttributes::blocking());
+    spin = !spin;
+  }
+}
+
+BENCHMARK(BM_TasLock);
+BENCHMARK(BM_TtasLock);
+BENCHMARK(BM_BackoffSpinLock);
+BENCHMARK(BM_TicketLock);
+BENCHMARK(BM_McsLock);
+BENCHMARK(BM_ClhLock);
+BENCHMARK(BM_AndersonArrayLock);
+BENCHMARK(BM_BlockingLock);
+BENCHMARK(BM_ConfigurableSpin);
+BENCHMARK(BM_ConfigurableFcfsCombined);
+BENCHMARK(BM_ConfigurableMonitored);
+BENCHMARK(BM_ConfigurableRecursive);
+BENCHMARK(BM_RwSpinLockShared);
+BENCHMARK(BM_ConfigureWaiting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Supplementary table (beyond the paper): lock-op, unlock-op, and locking-
+// cycle costs on the simulated Butterfly for every baseline lock in the
+// library, including the queue locks the paper only discusses as related
+// work (MCS [MCS91], CLH, Anderson's array lock [ALL89], ticket). Gives a
+// complete cost picture for choosing a static configuration.
+#include "cycle_common.hpp"
+#include "lock_cost_common.hpp"
+#include "relock/locks/anderson_lock.hpp"
+#include "relock/locks/clh_lock.hpp"
+#include "relock/locks/mcs_lock.hpp"
+#include "relock/locks/ticket_lock.hpp"
+
+namespace {
+
+using namespace relock;
+using namespace relock::bench;
+
+// Unlock is timed on same-thread lock/unlock pairs: queue locks (MCS, CLH)
+// require the releasing thread to be the owner.
+template <typename MakeLock>
+double measure_unlock_us(MakeLock make_lock) {
+  Machine m(MachineParams::butterfly());
+  auto lock = make_lock(m, Placement::on(0));
+  MeanAccumulator acc;
+  m.spawn(0, [&](Thread& t) {
+    for (int i = 0; i < 200; ++i) {
+      lock->lock(t);
+      const Nanos t0 = m.now();
+      lock->unlock(t);
+      acc.add(m.now() - t0);
+    }
+  });
+  m.run();
+  return acc.mean_us();
+}
+
+template <typename MakeLock>
+void row(const char* name, MakeLock make_lock) {
+  auto lock_op = [](auto& l, Thread& t) { l.lock(t); };
+  auto unlock_op = [](auto& l, Thread& t) { l.unlock(t); };
+  const double lock_us = measure_op_us(0, make_lock, lock_op, unlock_op);
+  const double unlock_us = measure_unlock_us(make_lock);
+  Machine m(MachineParams::butterfly());
+  auto cycle_lock = make_lock(m, Placement::on(0));
+  const double cycle_us = measure_cycle_us(m, *cycle_lock);
+  std::printf("%-22s %12.2f %12.2f %12.2f\n", name, lock_us, unlock_us,
+              cycle_us);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Supplement: full static-lock cost table (beyond the paper)",
+      "Tables 2-4, extended");
+  std::printf("%-22s %12s %12s %12s\n", "Lock", "lock(us)", "unlock(us)",
+              "cycle(us)");
+
+  row("TAS spin", [](Machine& m, Placement p) {
+    return std::make_unique<TasLock<SimPlatform>>(m, p);
+  });
+  row("TTAS spin", [](Machine& m, Placement p) {
+    return std::make_unique<TtasLock<SimPlatform>>(m, p);
+  });
+  row("backoff spin", [](Machine& m, Placement p) {
+    return std::make_unique<BackoffSpinLock<SimPlatform>>(
+        m, p, BackoffSchedule::Params{50'000, 300'000, 2});
+  });
+  row("ticket", [](Machine& m, Placement p) {
+    return std::make_unique<TicketLock<SimPlatform>>(m, p);
+  });
+  row("Anderson array", [](Machine& m, Placement p) {
+    return std::make_unique<AndersonArrayLock<SimPlatform>>(m, 64, p, 64);
+  });
+  row("MCS (distributed)", [](Machine& m, Placement p) {
+    return std::make_unique<McsLock<SimPlatform>>(m, p, 64);
+  });
+  row("CLH", [](Machine& m, Placement p) {
+    return std::make_unique<ClhLock<SimPlatform>>(m, p, 64);
+  });
+  row("blocking", [](Machine& m, Placement p) {
+    return std::make_unique<BlockingLock<SimPlatform>>(m, p);
+  });
+  row("configurable (mixed)", [](Machine& m, Placement p) {
+    return std::make_unique<ConfigurableLock<SimPlatform>>(
+        m, configurable_options(p));
+  });
+
+  std::printf("\nlock/unlock: uncontended, lock local to the caller.\n"
+              "cycle: unlock->lock handoff to one waiting remote thread.\n");
+  return 0;
+}

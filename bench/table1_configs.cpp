@@ -1,0 +1,34 @@
+// Table 1: lock parameters -> resulting lock. Prints the attribute mapping
+// implemented by relock::classify (also property-tested in
+// tests/core_attributes_test.cpp).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "relock/core/attributes.hpp"
+
+int main() {
+  using namespace relock;
+  bench::print_header("Table 1: Lock Parameters", "Table 1");
+  std::printf("%-12s %-12s %-12s %-10s %s\n", "spin-time", "delay-time",
+              "sleep-time", "timeout", "resulting lock");
+
+  struct Row {
+    LockAttributes a;
+    const char* spin;
+    const char* delay;
+    const char* sleep;
+    const char* timeout;
+  };
+  const Row rows[] = {
+      {LockAttributes::spin(), "n", "0", "0", "0"},
+      {LockAttributes::backoff_spin(), "n", "n", "0", "0"},
+      {LockAttributes::blocking(), "0", "0", "n", "0"},
+      {LockAttributes::conditional(1'000'000), "x", "x", "x", "n"},
+      {LockAttributes::combined(10, kForever), "n", "n", "n", "x"},
+  };
+  for (const Row& r : rows) {
+    std::printf("%-12s %-12s %-12s %-10s %s\n", r.spin, r.delay, r.sleep,
+                r.timeout, to_string(classify(r.a)));
+  }
+  return 0;
+}

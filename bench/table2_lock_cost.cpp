@@ -1,0 +1,49 @@
+// Table 2: cost of the Lock operation for different locks (local / remote),
+// uncontended. Paper values (us): atomior 30.73/33.86, spin 40.79/41.10,
+// spin-with-backoff 40.79/41.15, blocking 88.59/91.73, configurable
+// 40.79/41.17.
+#include "lock_cost_common.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+
+  bench::print_header("Table 2: Cost of the Lock operation", "Table 2");
+  std::printf("%-28s %10s %10s   | %8s %8s\n", "Lock type", "local(us)",
+              "remote(us)", "paper-l", "paper-r");
+
+  auto lock_op = [](auto& l, Thread& t) { l.lock(t); };
+  auto unlock_op = [](auto& l, Thread& t) { l.unlock(t); };
+
+  print_row3("atomior", measure_atomior_us(0), measure_atomior_us(1), 30.73,
+             33.86);
+
+  auto spin = [](Machine& m, Placement p) {
+    return std::make_unique<TasLock<SimPlatform>>(m, p);
+  };
+  print_row3("spin-lock", measure_op_us(0, spin, lock_op, unlock_op),
+             measure_op_us(1, spin, lock_op, unlock_op), 40.79, 41.10);
+
+  auto backoff = [](Machine& m, Placement p) {
+    return std::make_unique<BackoffSpinLock<SimPlatform>>(m, p);
+  };
+  print_row3("spin-with-backoff", measure_op_us(0, backoff, lock_op, unlock_op),
+             measure_op_us(1, backoff, lock_op, unlock_op), 40.79, 41.15);
+
+  auto blocking = [](Machine& m, Placement p) {
+    return std::make_unique<BlockingLock<SimPlatform>>(m, p);
+  };
+  print_row3("blocking-lock",
+             measure_op_us(0, blocking, lock_op, unlock_op),
+             measure_op_us(1, blocking, lock_op, unlock_op), 88.59, 91.73);
+
+  auto configurable = [](Machine& m, Placement p) {
+    return std::make_unique<ConfigurableLock<SimPlatform>>(
+        m, configurable_options(p));
+  };
+  print_row3("configurable lock",
+             measure_op_us(0, configurable, lock_op, unlock_op),
+             measure_op_us(1, configurable, lock_op, unlock_op), 40.79, 41.17);
+
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 3: cost of the Unlock operation for different locks (local /
+// remote), uncontended. Paper values (us): spin 4.99/7.23, spin-with-
+// backoff 5.01/7.25, blocking 62.32/73.45, configurable 50.07/61.69.
+#include "lock_cost_common.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+
+  bench::print_header("Table 3: Cost of the Unlock operation", "Table 3");
+  std::printf("%-28s %10s %10s   | %8s %8s\n", "Lock type", "local(us)",
+              "remote(us)", "paper-l", "paper-r");
+
+  // Measure unlock: acquire outside the timed window, time the release.
+  auto measure_unlock = [&](int node, auto make_lock) {
+    return measure_op_us(
+        node, make_lock,
+        // The timed operation is the unlock...
+        [](auto& l, Thread& t) { l.unlock(t); },
+        // ...and the cleanup step re-acquires for the next iteration.
+        [](auto& l, Thread& t) { l.lock(t); }, 200);
+  };
+
+  // Pre-acquire once so the first timed unlock is valid: wrap make_lock to
+  // lock the lock right after construction.
+  auto spin = [](Machine& m, Placement p) {
+    auto l = std::make_unique<TasLock<SimPlatform>>(m, p);
+    m.spawn(0, [raw = l.get()](Thread& t) { raw->lock(t); });
+    m.run();
+    return l;
+  };
+  print_row3("spin-lock", measure_unlock(0, spin), measure_unlock(1, spin),
+             4.99, 7.23);
+
+  auto backoff = [](Machine& m, Placement p) {
+    auto l = std::make_unique<BackoffSpinLock<SimPlatform>>(m, p);
+    m.spawn(0, [raw = l.get()](Thread& t) { raw->lock(t); });
+    m.run();
+    return l;
+  };
+  print_row3("spin-with-backoff", measure_unlock(0, backoff),
+             measure_unlock(1, backoff), 5.01, 7.25);
+
+  auto blocking = [](Machine& m, Placement p) {
+    auto l = std::make_unique<BlockingLock<SimPlatform>>(m, p);
+    m.spawn(0, [raw = l.get()](Thread& t) { raw->lock(t); });
+    m.run();
+    return l;
+  };
+  print_row3("blocking-lock", measure_unlock(0, blocking),
+             measure_unlock(1, blocking), 62.32, 73.45);
+
+  auto configurable = [](Machine& m, Placement p) {
+    auto l = std::make_unique<ConfigurableLock<SimPlatform>>(
+        m, configurable_options(p));
+    m.spawn(0, [raw = l.get()](Thread& t) { raw->lock(t); });
+    m.run();
+    return l;
+  };
+  print_row3("configurable lock", measure_unlock(0, configurable),
+             measure_unlock(1, configurable), 50.07, 61.69);
+
+  return 0;
+}

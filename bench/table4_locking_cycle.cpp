@@ -1,0 +1,45 @@
+// Table 4: cost of successive Unlock and Lock operations on an already
+// "locked" lock, for the static lock implementations. Paper values (us):
+// spin 45.13/47.89, spin-with-backoff 320.36/356.95, blocking
+// 510.55/563.79 (local/remote).
+#include "cycle_common.hpp"
+#include "relock/locks/blocking_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+
+  bench::print_header(
+      "Table 4: Unlock+Lock cycle on an already locked lock", "Table 4");
+  std::printf("%-28s %10s %10s   | %8s %8s\n", "Lock type", "local(us)",
+              "remote(us)", "paper-l", "paper-r");
+
+  auto run_spin = [](int node) {
+    Machine m(MachineParams::butterfly());
+    TasLock<SimPlatform> lock(m, Placement::on(node));
+    return measure_cycle_us(m, lock);
+  };
+  print_row3("Spin", run_spin(0), run_spin(5), 45.13, 47.89);
+
+  auto run_backoff = [](int node) {
+    Machine m(MachineParams::butterfly());
+    // Butterfly-scale backoff: 50us initial, 300us cap (Anderson-style).
+    BackoffSpinLock<SimPlatform> lock(
+        m, Placement::on(node),
+        BackoffSchedule::Params{50'000, 300'000, 2});
+    return measure_cycle_us(m, lock);
+  };
+  print_row3("Spin-with-backoff", run_backoff(0), run_backoff(5), 320.36,
+             356.95);
+
+  auto run_blocking = [](int node) {
+    Machine m(MachineParams::butterfly());
+    BlockingLock<SimPlatform> lock(m, Placement::on(node));
+    return measure_cycle_us(m, lock);
+  };
+  print_row3("Blocking-lock", run_blocking(0), run_blocking(5), 510.55,
+             563.79);
+
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 5: cost of the Unlock+Lock cycle on an already locked
+// *configurable* lock, configured as spin and as blocking. Paper values
+// (us): spin 90.21/101.38, blocking 565.16/625.63 (local/remote).
+//
+// The same lock object is used for both rows: it is dynamically
+// reconfigured from a spin to a blocking waiting policy between the
+// measurements (a 1R1W configure operation).
+#include "cycle_common.hpp"
+#include "relock/core/configurable_lock.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+
+  bench::print_header(
+      "Table 5: Unlock+Lock cycle on a locked configurable lock", "Table 5");
+  std::printf("%-28s %10s %10s   | %8s %8s\n", "Configured as", "local(us)",
+              "remote(us)", "paper-l", "paper-r");
+
+  auto run = [](int node, LockAttributes attrs) {
+    Machine m(MachineParams::butterfly());
+    ConfigurableLock<SimPlatform>::Options o;
+    o.scheduler = SchedulerKind::kNone;  // centralized, like the primitives
+    o.attributes = LockAttributes::spin();
+    o.placement = Placement::on(node);
+    ConfigurableLock<SimPlatform> lock(m, o);
+    // Dynamic reconfiguration to the measured waiting policy.
+    m.spawn(0, [&](sim::Thread& t) { lock.configure_waiting(t, attrs); });
+    m.run();
+    return measure_cycle_us(m, lock);
+  };
+
+  print_row3("Spin", run(0, LockAttributes::spin()),
+             run(5, LockAttributes::spin()), 90.21, 101.38);
+  print_row3("Blocking", run(0, LockAttributes::blocking()),
+             run(5, LockAttributes::blocking()), 565.16, 625.63);
+
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 6: cost of the dynamic lock configuration operations. Paper values
+// (us): possess 30.75/33.92, configure(waiting policy) 9.87/14.45,
+// configure(scheduler) 12.51/20.83 (local/remote).
+//
+// Note: our configure(scheduler) additionally acquires the lock's meta
+// guard (one atomior) to swap the scheduler module safely, so it lands one
+// RMW above the paper's bare 1R5W cost; see EXPERIMENTS.md.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "relock/core/configurable_lock.hpp"
+#include "relock/sim/machine.hpp"
+
+int main() {
+  using namespace relock;
+  using namespace relock::bench;
+  using sim::Machine;
+  using sim::MachineParams;
+  using sim::SimPlatform;
+  using sim::Thread;
+
+  bench::print_header("Table 6: Cost of Lock Configuration Operations",
+                      "Table 6");
+  std::printf("%-28s %10s %10s   | %8s %8s\n", "Operation", "local(us)",
+              "remote(us)", "paper-l", "paper-r");
+
+  auto with_lock = [](int node, auto body) {
+    Machine m(MachineParams::butterfly());
+    ConfigurableLock<SimPlatform>::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.placement = Placement::on(node);
+    ConfigurableLock<SimPlatform> lock(m, o);
+    MeanAccumulator acc;
+    m.spawn(0, [&](Thread& t) {
+      for (int i = 0; i < 100; ++i) body(lock, t, acc);
+    });
+    m.run();
+    return acc.mean_us();
+  };
+
+  auto possess_cost = [&](int node) {
+    return with_lock(node, [](auto& lock, Thread& t, MeanAccumulator& acc) {
+      const Nanos t0 = t.machine().now();
+      lock.possess(t, AttributeClass::kWaitingPolicy);
+      acc.add(t.machine().now() - t0);
+      lock.release_possession(t, AttributeClass::kWaitingPolicy);
+    });
+  };
+  print_row3("possess", possess_cost(0), possess_cost(1), 30.75, 33.92);
+
+  auto waiting_cost = [&](int node) {
+    return with_lock(node, [](auto& lock, Thread& t, MeanAccumulator& acc) {
+      const Nanos t0 = t.machine().now();
+      lock.configure_waiting(t, LockAttributes::blocking());
+      acc.add(t.machine().now() - t0);
+      lock.configure_waiting(t, LockAttributes::spin());
+    });
+  };
+  print_row3("configure(waiting policy)", waiting_cost(0), waiting_cost(1),
+             9.87, 14.45);
+
+  auto scheduler_cost = [&](int node) {
+    return with_lock(node, [](auto& lock, Thread& t, MeanAccumulator& acc) {
+      const Nanos t0 = t.machine().now();
+      lock.configure_scheduler(t, SchedulerKind::kHandoff);
+      acc.add(t.machine().now() - t0);
+      lock.configure_scheduler(t, SchedulerKind::kFcfs);
+    });
+  };
+  print_row3("configure(scheduler)", scheduler_cost(0), scheduler_cost(1),
+             12.51, 20.83);
+
+  return 0;
+}

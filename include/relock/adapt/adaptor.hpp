@@ -1,0 +1,69 @@
+// The external adaptation agent: "a thread monitoring the state of the lock
+// may request ownership of an attribute to reconfigure the lock to a desired
+// configuration" (paper section 3.1):
+//
+//   passive-lock.possess(a-attribute)
+//   passive-lock.configure(a-attribute, new-config)
+//
+// Adaptor wires a LockMonitor-equipped ConfigurableLock to an
+// AdaptationPolicy: each step() takes a stats snapshot, computes the delta,
+// asks the policy for an action, and applies it under attribute possession.
+#pragma once
+
+#include <memory>
+
+#include "relock/adapt/policies.hpp"
+#include "relock/core/configurable_lock.hpp"
+
+namespace relock::adapt {
+
+template <Platform P>
+class Adaptor {
+ public:
+  using Ctx = typename P::Context;
+
+  Adaptor(ConfigurableLock<P>& lock, std::unique_ptr<AdaptationPolicy> policy)
+      : lock_(lock), policy_(std::move(policy)),
+        last_(lock.monitor().snapshot()) {}
+
+  /// One feedback-loop iteration. Returns true if a reconfiguration was
+  /// applied.
+  bool step(Ctx& ctx) {
+    const LockStats cur = lock_.monitor().snapshot();
+    const StatsDelta d = delta_between(last_, cur);
+    last_ = cur;
+    const std::optional<AdaptAction> action = policy_->evaluate(d);
+    if (!action.has_value()) return false;
+    apply(ctx, *action);
+    ++applied_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t actions_applied() const noexcept {
+    return applied_;
+  }
+
+ private:
+  void apply(Ctx& ctx, const AdaptAction& action) {
+    if (const auto* w = std::get_if<SetWaitingPolicy>(&action)) {
+      lock_.possess(ctx, AttributeClass::kWaitingPolicy);
+      lock_.configure_waiting(ctx, w->attributes);
+      lock_.release_possession(ctx, AttributeClass::kWaitingPolicy);
+    } else if (const auto* s = std::get_if<SetScheduler>(&action)) {
+      lock_.possess(ctx, AttributeClass::kScheduler);
+      lock_.configure_scheduler(ctx, s->kind);
+      lock_.release_possession(ctx, AttributeClass::kScheduler);
+    } else if (const auto* t = std::get_if<SetThreshold>(&action)) {
+      lock_.possess(ctx, AttributeClass::kScheduler);
+      lock_.set_priority_threshold(ctx, t->threshold);
+      lock_.release_possession(ctx, AttributeClass::kScheduler);
+    }
+  }
+
+  ConfigurableLock<P>& lock_;
+  std::unique_ptr<AdaptationPolicy> policy_;
+  LockStats last_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace relock::adapt

@@ -1,0 +1,194 @@
+// Adaptation policies (paper section 6 / [MS93]): "a waiting policy based
+// on dynamic feedback (reporting the state of a lock) is essential for
+// better application performance... Such an object uses a builtin monitor
+// and an adaptation algorithm to implement a feedback loop to configure its
+// own attributes."
+//
+// A policy consumes periodic LockStats deltas from the monitor module and
+// emits configuration actions; the Adaptor (adaptor.hpp) applies them to a
+// lock via possess/configure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "relock/core/attributes.hpp"
+#include "relock/monitor/lock_monitor.hpp"
+
+namespace relock::adapt {
+
+struct SetWaitingPolicy {
+  LockAttributes attributes;
+};
+struct SetScheduler {
+  SchedulerKind kind;
+};
+struct SetThreshold {
+  Priority threshold;
+};
+
+using AdaptAction =
+    std::variant<SetWaitingPolicy, SetScheduler, SetThreshold>;
+
+/// Stats observed since the previous policy evaluation.
+struct StatsDelta {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t timeouts = 0;
+  double mean_hold_ns = 0.0;
+  double mean_wait_ns = 0.0;
+
+  [[nodiscard]] double contention_ratio() const {
+    return acquisitions == 0
+               ? 0.0
+               : static_cast<double>(contended) /
+                     static_cast<double>(acquisitions);
+  }
+};
+
+/// Computes the delta between two snapshots.
+[[nodiscard]] inline StatsDelta delta_between(const LockStats& prev,
+                                              const LockStats& cur) {
+  StatsDelta d;
+  d.acquisitions = cur.acquisitions - prev.acquisitions;
+  d.contended = cur.contended_acquisitions - prev.contended_acquisitions;
+  d.blocks = cur.blocks - prev.blocks;
+  d.timeouts = cur.timeouts - prev.timeouts;
+  const std::uint64_t rel = cur.releases - prev.releases;
+  d.mean_hold_ns =
+      rel == 0 ? 0.0
+               : static_cast<double>(cur.total_hold_ns - prev.total_hold_ns) /
+                     static_cast<double>(rel);
+  d.mean_wait_ns =
+      d.contended == 0
+          ? 0.0
+          : static_cast<double>(cur.total_wait_ns - prev.total_wait_ns) /
+                static_cast<double>(d.contended);
+  return d;
+}
+
+/// Abstract adaptation policy.
+class AdaptationPolicy {
+ public:
+  virtual ~AdaptationPolicy() = default;
+  /// Evaluates one monitoring interval; returns an action or nothing.
+  virtual std::optional<AdaptAction> evaluate(const StatsDelta& d) = 0;
+};
+
+/// Spin<->block hysteresis on observed hold times: long critical sections
+/// indicate waiters should sleep (spinning wastes their processors); short
+/// ones indicate they should spin (blocking costs more than the wait).
+/// The thresholds form a hysteresis band to prevent oscillation.
+class SpinBlockHysteresisPolicy final : public AdaptationPolicy {
+ public:
+  struct Params {
+    /// Switch to blocking when mean hold exceeds this.
+    double block_above_ns = 500'000.0;
+    /// Switch back to spinning when mean hold drops below this.
+    double spin_below_ns = 150'000.0;
+    /// Minimum acquisitions per interval before acting (noise gate).
+    std::uint64_t min_samples = 8;
+    /// Spin probes to keep in front of the sleep (combined lock).
+    std::uint32_t residual_spins = 10;
+  };
+
+  SpinBlockHysteresisPolicy() : SpinBlockHysteresisPolicy(Params{}) {}
+  explicit SpinBlockHysteresisPolicy(Params p) : params_(p) {}
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    if (d.acquisitions < params_.min_samples) return std::nullopt;
+    if (!blocking_ && d.mean_hold_ns > params_.block_above_ns) {
+      blocking_ = true;
+      return AdaptAction{SetWaitingPolicy{
+          LockAttributes::combined(params_.residual_spins, kForever)}};
+    }
+    if (blocking_ && d.mean_hold_ns < params_.spin_below_ns) {
+      blocking_ = false;
+      return AdaptAction{SetWaitingPolicy{LockAttributes::spin()}};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool blocking() const noexcept { return blocking_; }
+
+ private:
+  Params params_;
+  bool blocking_ = false;
+};
+
+/// Contention-driven scheduler policy: under heavy contention a queueing
+/// scheduler (FCFS handoff) avoids the hot-spot traffic of barging; under
+/// light contention the centralized lock's cheaper release path wins.
+class ContentionSchedulerPolicy final : public AdaptationPolicy {
+ public:
+  struct Params {
+    double queue_above = 0.5;   ///< contention ratio to adopt FCFS
+    double barge_below = 0.1;   ///< contention ratio to drop back to kNone
+    std::uint64_t min_samples = 8;
+  };
+
+  ContentionSchedulerPolicy() : ContentionSchedulerPolicy(Params{}) {}
+  explicit ContentionSchedulerPolicy(Params p) : params_(p) {}
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    if (d.acquisitions < params_.min_samples) return std::nullopt;
+    const double ratio = d.contention_ratio();
+    if (!queued_ && ratio > params_.queue_above) {
+      queued_ = true;
+      return AdaptAction{SetScheduler{SchedulerKind::kFcfs}};
+    }
+    if (queued_ && ratio < params_.barge_below) {
+      queued_ = false;
+      return AdaptAction{SetScheduler{SchedulerKind::kNone}};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool queued() const noexcept { return queued_; }
+
+ private:
+  Params params_;
+  bool queued_ = false;
+};
+
+/// Phase detector: flags intervals whose mean hold time departs from the
+/// running EWMA by more than a factor, signalling a workload phase change
+/// that warrants re-evaluation by a surrounding policy.
+class PhaseDetector {
+ public:
+  struct Params {
+    double alpha = 0.25;   ///< EWMA smoothing
+    double factor = 3.0;   ///< departure factor that defines a new phase
+  };
+
+  PhaseDetector() : PhaseDetector(Params{}) {}
+  explicit PhaseDetector(Params p) : params_(p) {}
+
+  /// Returns true when the sample signals a phase change.
+  bool observe(double mean_hold_ns) {
+    if (mean_hold_ns <= 0.0) return false;
+    if (ewma_ <= 0.0) {
+      ewma_ = mean_hold_ns;
+      return false;
+    }
+    const bool changed = mean_hold_ns > ewma_ * params_.factor ||
+                         mean_hold_ns * params_.factor < ewma_;
+    ewma_ = params_.alpha * mean_hold_ns + (1.0 - params_.alpha) * ewma_;
+    if (changed) ++phases_;
+    return changed;
+  }
+
+  [[nodiscard]] double ewma() const noexcept { return ewma_; }
+  [[nodiscard]] std::uint64_t phases_detected() const noexcept {
+    return phases_;
+  }
+
+ private:
+  Params params_;
+  double ewma_ = 0.0;
+  std::uint64_t phases_ = 0;
+};
+
+}  // namespace relock::adapt

@@ -1,0 +1,1068 @@
+// ConfigurableLock: the paper's reconfigurable lock object (sections 3-4).
+//
+// Structure (Figure 5 of the paper):
+//   - object state:      lock word, owner, registration queue, sleeper list
+//   - configuration:     waiting attributes (Table 1), scheduler modules
+//                        (registration / acquisition / release), placement,
+//                        execution mode (passive/active)
+//   - monitor module:    LockMonitor statistics
+//   - reconfiguration:   possess / configure operations; scheduler changes
+//                        obey the configuration delay (the new scheduler
+//                        takes effect only once pre-registered waiters are
+//                        all served)
+//
+// Concurrency design. A TAS meta word guards the lock's internal structures
+// (the paper: "a primitive low-level lock is often used to enforce mutual
+// exclusion of a high-level lock data structure"). The uncontended fast path
+// is a single fetch_or on the state word, so a configurable lock configured
+// as a spin lock costs about the same as a primitive spin lock (paper Table
+// 2). With a scheduler configured, release performs a *direct handoff*: the
+// state word never becomes free, the selected waiter's grant flag is set and
+// the waiter woken if sleeping - so scheduler decisions cannot be barged.
+// With SchedulerKind::kNone the lock is a centralized barging lock: release
+// frees the state word and wakes all sleepers (paper section 4.3.2: "wakes
+// up a specific thread or all the sleeping threads depending on the release
+// policy").
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "relock/core/attributes.hpp"
+#include "relock/core/scheduler.hpp"
+#include "relock/core/waiter.hpp"
+#include "relock/monitor/lock_monitor.hpp"
+#include "relock/platform/backoff.hpp"
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+template <Platform P>
+class ConfigurableLock {
+ public:
+  using Ctx = typename P::Context;
+  using Domain = typename P::Domain;
+
+  struct Options {
+    SchedulerKind scheduler = SchedulerKind::kNone;
+    LockAttributes attributes = LockAttributes::spin();
+    /// Home node of the lock's words.
+    Placement placement = Placement::any();
+    /// Where waiters' grant flags live: kWaiterLocal = distributed lock
+    /// (each waiter polls its own node's memory), kLockHome = centralized.
+    WaitPlacement wait_placement = WaitPlacement::kWaiterLocal;
+    RwPreference rw_preference = RwPreference::kFifo;
+    bool recursive = false;
+    bool advisory = false;        ///< waiters poll the owner's advice
+    bool monitor_enabled = false;
+    Execution execution = Execution::kPassive;
+    /// Active locks only: the manager thread polls its mailbox (it owns a
+    /// dedicated processor, so releasing threads never pay a wakeup cost).
+    /// When false the manager blocks and unlock() must wake it.
+    bool active_polling = true;
+    /// Delay between the polling manager's mailbox probes.
+    Nanos active_poll_interval = 20'000;
+    /// Advisory mode: length of one bounded sleep round under kSleep
+    /// advice. Waiters "spin and sleep in turn", re-polling the owner's
+    /// advice each round, so they notice the end-of-tenure switch to spin.
+    Nanos advice_sleep_slice = 500'000;
+  };
+
+  ConfigurableLock(Domain& domain, Options opts = Options{})
+      : domain_(domain),
+        opts_(opts),
+        meta_(domain, 0, opts.placement),
+        state_(domain, 0, opts.placement),
+        owner_(domain, 0, opts.placement),
+        advice_(domain, 0, opts.placement),
+        config_word_(domain, 0, opts.placement),
+        sched_reg_(domain, 0, opts.placement),
+        sched_acq_(domain, 0, opts.placement),
+        sched_rel_(domain, 0, opts.placement),
+        sched_flag_(domain, 0, opts.placement),
+        registry_(domain, 0, opts.placement),
+        possess_word_(domain, 0, opts.placement),
+        mailbox_(domain, 0, opts.placement),
+        scheduler_(make_scheduler<P>(opts.scheduler)),
+        scheduler_kind_(opts.scheduler) {
+    store_attrs(opts.attributes);
+    if (scheduler_ != nullptr) {
+      scheduler_->set_rw_preference(opts.rw_preference);
+    }
+    monitor_.set_enabled(opts.monitor_enabled);
+  }
+
+  ConfigurableLock(const ConfigurableLock&) = delete;
+  ConfigurableLock& operator=(const ConfigurableLock&) = delete;
+
+  // =================================================================
+  // Acquisition.
+  // =================================================================
+
+  /// Acquires the lock. Returns false only if the configured waiting policy
+  /// has a timeout (a *conditional lock*, Table 1) and it expired.
+  bool lock(Ctx& ctx) { return acquire(ctx, /*shared=*/false, 0); }
+
+  /// Conditional acquisition bounded by `timeout` (overrides the timeout
+  /// attribute for this call).
+  bool lock_for(Ctx& ctx, Nanos timeout) {
+    return acquire(ctx, /*shared=*/false, timeout);
+  }
+
+  /// Polling acquisition: single attempt, never waits.
+  bool try_lock(Ctx& ctx) {
+    if (rw_capable()) return try_acquire_rw(ctx, /*shared=*/false);
+    if (opts_.recursive && is_owner(ctx)) {
+      ++recursion_depth_;
+      return true;
+    }
+    if (P::fetch_or(ctx, state_, 1) == 0) {
+      on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
+      return true;
+    }
+    return false;
+  }
+
+  /// Shared (reader) acquisition; requires a reader-writer configuration.
+  bool lock_shared(Ctx& ctx) { return acquire(ctx, /*shared=*/true, 0); }
+  bool lock_shared_for(Ctx& ctx, Nanos timeout) {
+    return acquire(ctx, /*shared=*/true, timeout);
+  }
+  bool try_lock_shared(Ctx& ctx) { return try_acquire_rw(ctx, /*shared=*/true); }
+
+  // =================================================================
+  // Release.
+  // =================================================================
+
+  void unlock(Ctx& ctx) { unlock_to(ctx, kInvalidThread); }
+
+  /// Release with a handoff hint: with SchedulerKind::kHandoff the lock is
+  /// granted directly to `hint` if that thread is waiting.
+  void unlock_to(Ctx& ctx, ThreadId hint) {
+    if (opts_.recursive && recursion_depth_ > 0) {
+      --recursion_depth_;
+      return;
+    }
+    monitor_.on_release(P::now(ctx) - acquire_time_);
+    if (opts_.execution == Execution::kActive && serving_.load()) {
+      post_release(ctx, hint, /*shared=*/false);
+      return;
+    }
+    release(ctx, hint, /*shared=*/false);
+  }
+
+  void unlock_shared(Ctx& ctx) {
+    assert(rw_capable());
+    if (opts_.execution == Execution::kActive && serving_.load()) {
+      post_release(ctx, kInvalidThread, /*shared=*/true);
+      return;
+    }
+    release(ctx, kInvalidThread, /*shared=*/true);
+  }
+
+  // =================================================================
+  // Advisory / speculative locks (paper section 4.3.2).
+  // =================================================================
+
+  /// Publishes the owner's advice to current and future waiters. Usually
+  /// called by the lock owner from inside the critical section; the advice
+  /// may be changed at different stages of the critical section.
+  ///
+  /// `expected_remaining` (kSleep only) is the owner's estimate of its
+  /// remaining tenure: "the current lock owner is the best source of
+  /// information for the length of lock ownership". Waiters sleep until
+  /// just before that deadline and then spin, so a long tenure costs them
+  /// one block instead of continuous spinning, yet the handoff at the end
+  /// is spin-fast.
+  void advise(Ctx& ctx, Advice a, Nanos expected_remaining = 0) {
+    std::uint64_t v = static_cast<std::uint64_t>(a);
+    if (a == Advice::kSleep && expected_remaining > 0) {
+      v |= (P::now(ctx) + expected_remaining) << 2;
+    }
+    P::store(ctx, advice_, v);
+  }
+
+  /// Reads the current advice (costed platform read).
+  Advice current_advice(Ctx& ctx) {
+    return static_cast<Advice>(P::load(ctx, advice_) & 3);
+  }
+
+  // =================================================================
+  // Reconfiguration (paper sections 3.2 / 4.2).
+  // =================================================================
+
+  /// Acquires exclusive ownership of an attribute class so an external
+  /// agent can reconfigure it. Cost: one test-and-set (paper Table 6).
+  bool try_possess(Ctx& ctx, AttributeClass c) {
+    const auto bit = static_cast<std::uint64_t>(c);
+    return (P::fetch_or(ctx, possess_word_, bit) & bit) == 0;
+  }
+  void possess(Ctx& ctx, AttributeClass c) {
+    while (!try_possess(ctx, c)) {
+      P::pause(ctx);
+    }
+  }
+  void release_possession(Ctx& ctx, AttributeClass c) {
+    P::fetch_and(ctx, possess_word_, ~static_cast<std::uint64_t>(c));
+  }
+
+  /// Changes the waiting policy attributes. Cost: one read + one write of
+  /// the configuration word (paper: "a simple dynamic alteration of waiting
+  /// mechanism needs only one memory read and one memory write", 1R1W).
+  /// Takes effect for subsequent acquisitions; in-flight waiters keep the
+  /// policy they registered with.
+  void configure_waiting(Ctx& ctx, LockAttributes attrs) {
+    (void)P::load(ctx, config_word_);
+    store_attrs(attrs);
+    P::store(ctx, config_word_, config_version_.fetch_add(1) + 1);
+    monitor_.on_reconfiguration(/*scheduler_change=*/false);
+  }
+
+  /// Changes the lock scheduler. Cost: 1R5W (paper section 4.1): three
+  /// writes for the scheduler submodules, one to set the configuration-
+  /// delay flag, and one - deferred - to reset it once all pre-registered
+  /// threads have been served. Until then the old scheduler keeps serving
+  /// its queue while new arrivals register with the incoming scheduler.
+  /// Reader-writer capability is fixed at construction: switching between
+  /// RW and non-RW kinds is not supported.
+  void configure_scheduler(Ctx& ctx, SchedulerKind kind) {
+    assert(kind != SchedulerKind::kCustom &&
+           "install custom schedulers by instance (unique_ptr overload)");
+    install_scheduler(ctx, kind, make_scheduler<P>(kind));
+  }
+
+  /// Installs a user-supplied scheduler module - the extension point the
+  /// paper's kernel-configurability argument calls for (e.g. the
+  /// deadline-based EdfScheduler). Same cost model and configuration-delay
+  /// semantics as the built-in kinds.
+  void configure_scheduler(Ctx& ctx, std::unique_ptr<Scheduler<P>> custom) {
+    assert(custom != nullptr);
+    const SchedulerKind kind = custom->kind();
+    install_scheduler(ctx, kind, std::move(custom));
+  }
+
+  /// Priority-threshold scheduler parameter. If the lock is currently free,
+  /// lowering the threshold re-runs grant selection so newly eligible
+  /// waiters are served.
+  void set_priority_threshold(Ctx& ctx, Priority threshold) {
+    meta_lock(ctx);
+    if (scheduler_ != nullptr) scheduler_->set_threshold(threshold);
+    if (pending_scheduler_ != nullptr) {
+      pending_scheduler_->set_threshold(threshold);
+    }
+    monitor_.on_reconfiguration(/*scheduler_change=*/false);
+    if (!held_locked() && scheduler_ != nullptr && !scheduler_->empty()) {
+      // Lock is free with waiters that may have just become eligible.
+      if (P::fetch_or(ctx, state_, 1) == 0) {
+        grant_or_free(ctx, kInvalidThread);  // releases meta
+        return;
+      }
+    }
+    meta_unlock(ctx);
+  }
+
+  void set_rw_preference(Ctx& ctx, RwPreference pref) {
+    meta_lock(ctx);
+    opts_.rw_preference = pref;
+    if (scheduler_ != nullptr) scheduler_->set_rw_preference(pref);
+    if (pending_scheduler_ != nullptr) {
+      pending_scheduler_->set_rw_preference(pref);
+    }
+    monitor_.on_reconfiguration(/*scheduler_change=*/false);
+    meta_unlock(ctx);
+  }
+
+  /// Per-thread waiting-policy override: the acquisition module "implements
+  /// a mapping of thread-id to the appropriate methods for waiting" (paper
+  /// section 3.2). Threads with an override use it instead of the lock-wide
+  /// attributes.
+  void set_thread_attributes(Ctx& ctx, ThreadId tid, LockAttributes attrs) {
+    meta_lock(ctx);
+    thread_attrs_[tid] = attrs;
+    has_thread_attrs_.store(true, std::memory_order_relaxed);
+    meta_unlock(ctx);
+  }
+  void clear_thread_attributes(Ctx& ctx, ThreadId tid) {
+    meta_lock(ctx);
+    thread_attrs_.erase(tid);
+    has_thread_attrs_.store(!thread_attrs_.empty(),
+                            std::memory_order_relaxed);
+    meta_unlock(ctx);
+  }
+
+  // =================================================================
+  // Active locks (paper section 4.3.3): a dedicated manager thread
+  // executes the release module on behalf of releasing threads.
+  // =================================================================
+
+  /// Manager loop. Spawn a thread bound to the lock and call serve() from
+  /// it; returns after stop_serving(). While serving, unlock() merely posts
+  /// a release request and wakes the manager.
+  void serve(Ctx& ctx) {
+    manager_tid_.store(ctx.self(), std::memory_order_relaxed);
+    stop_.store(false, std::memory_order_relaxed);
+    serving_.store(true);
+    for (;;) {
+      if (stop_.load()) {
+        // Stop accepting new posts first, then serve the stragglers:
+        // releases arriving after this point run inline (passive path).
+        serving_.store(false);
+        const std::uint64_t last = P::load(ctx, mailbox_);
+        P::store(ctx, mailbox_, 0);
+        if (last != 0 && last != kMailboxShared) {
+          release(ctx, decode_mailbox_hint(last), /*shared=*/false);
+        }
+        drain_releases(ctx);
+        break;
+      }
+      // Only touch the (atomically guarded) request queue when the doorbell
+      // rang: an idle manager re-acquiring meta in a loop would saturate the
+      // lock's home memory module and starve releasing threads.
+      const std::uint64_t box = P::load(ctx, mailbox_);
+      if (box != 0) {
+        P::store(ctx, mailbox_, 0);
+        if (box == kMailboxShared) {
+          drain_releases(ctx);
+        } else {
+          // Exclusive release posted inline in the mailbox word.
+          release(ctx, decode_mailbox_hint(box), /*shared=*/false);
+        }
+        continue;
+      }
+      if (opts_.active_polling) {
+        // Dedicated processor: poll the mailbox at the configured interval.
+        P::delay(ctx, opts_.active_poll_interval);
+      } else {
+        P::block(ctx);
+      }
+    }
+    serving_.store(false);
+  }
+
+  void stop_serving(Ctx& ctx) {
+    stop_.store(true);
+    const ThreadId mgr = manager_tid_.load(std::memory_order_relaxed);
+    if (mgr != kInvalidThread) P::unblock(ctx, mgr);
+  }
+
+  // =================================================================
+  // Introspection (host-side; approximate under concurrency).
+  // =================================================================
+
+  [[nodiscard]] LockAttributes attributes() const { return load_attrs(); }
+  [[nodiscard]] SchedulerKind scheduler_kind() const {
+    return scheduler_kind_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool reconfiguration_pending() const {
+    return has_pending_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] LockMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] const LockMonitor& monitor() const noexcept {
+    return monitor_;
+  }
+  [[nodiscard]] std::uint32_t waiter_count() const {
+    return waiter_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The lock's state per the paper's Figure 4, using a costed read of the
+  /// state word: locked, unlocked, or *idle* (free with waiting threads).
+  [[nodiscard]] LockState state(Ctx& ctx) {
+    const bool held = P::load(ctx, state_) != 0;
+    if (held) return LockState::kLocked;
+    return waiter_count() > 0 ? LockState::kIdle : LockState::kUnlocked;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+ private:
+  enum class WaitResult : std::uint8_t { kGranted, kTimedOut };
+
+  struct ReleaseRequest {
+    ThreadId hint;
+    bool shared;
+    Nanos hold_started;
+  };
+
+  [[nodiscard]] bool rw_capable() const noexcept {
+    return opts_.scheduler == SchedulerKind::kReaderWriter;
+  }
+
+  [[nodiscard]] bool is_owner(Ctx& ctx) {
+    return P::load(ctx, owner_) ==
+           static_cast<std::uint64_t>(ctx.self()) + 1;
+  }
+
+  /// True while some thread/batch holds the lock. Meta must be held (used
+  /// only on meta-guarded slow paths); reads host mirrors.
+  [[nodiscard]] bool held_locked() const noexcept {
+    return holders_ != 0;
+  }
+
+  // ------------------------------------------------------------- meta ----
+
+  // TTAS: probe with cheap reads, RMW only when the guard looks free -
+  // spinning with RMWs would serialize on the (expensive) atomic path of
+  // the lock's home memory module.
+  void meta_lock(Ctx& ctx) {
+    for (;;) {
+      if (P::load_relaxed(ctx, meta_) == 0 &&
+          P::fetch_or(ctx, meta_, 1) == 0) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+  void meta_unlock(Ctx& ctx) { P::store(ctx, meta_, 0); }
+
+  // ------------------------------------------------------- attributes ----
+
+  void store_attrs(const LockAttributes& a) {
+    attr_spin_.store(a.spin_count, std::memory_order_relaxed);
+    attr_delay_.store(a.delay_ns, std::memory_order_relaxed);
+    attr_sleep_.store(a.sleep_ns, std::memory_order_relaxed);
+    attr_timeout_.store(a.timeout_ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LockAttributes load_attrs() const {
+    return LockAttributes{attr_spin_.load(std::memory_order_relaxed),
+                          attr_delay_.load(std::memory_order_relaxed),
+                          attr_sleep_.load(std::memory_order_relaxed),
+                          attr_timeout_.load(std::memory_order_relaxed)};
+  }
+
+  /// Effective attributes for a registering thread: the per-thread override
+  /// if one exists (checked under meta by the caller when the flag is set),
+  /// else the lock-wide attributes.
+  [[nodiscard]] LockAttributes effective_attrs_for(ThreadId tid) {
+    if (has_thread_attrs_.load(std::memory_order_relaxed)) {
+      auto it = thread_attrs_.find(tid);  // caller holds meta
+      if (it != thread_attrs_.end()) return it->second;
+    }
+    return load_attrs();
+  }
+
+  [[nodiscard]] static bool policy_may_sleep(const LockAttributes& a,
+                                             bool advisory) noexcept {
+    return a.sleep_ns > 0 || advisory;
+  }
+
+  // -------------------------------------------------------- acquire ------
+
+  bool acquire(Ctx& ctx, bool shared, Nanos timeout_override) {
+    if (rw_capable()) return acquire_rw(ctx, shared, timeout_override);
+    assert(!shared && "lock_shared requires a reader-writer configuration");
+
+    if (opts_.recursive && is_owner(ctx)) {
+      ++recursion_depth_;
+      return true;
+    }
+    const Nanos t0 = P::now(ctx);
+    // Fast path: one RMW, like a primitive spin lock (paper Table 2).
+    if (P::fetch_or(ctx, state_, 1) == 0) {
+      on_acquired_exclusive(ctx, /*contended=*/false, t0);
+      return true;
+    }
+    return acquire_slow(ctx, /*shared=*/false, timeout_override, t0);
+  }
+
+  bool acquire_slow(Ctx& ctx, bool shared, Nanos timeout_override, Nanos t0) {
+    // Registration: log the requesting thread's identity - "the cost of one
+    // write operation" (paper section 3.2).
+    P::store(ctx, registry_, static_cast<std::uint64_t>(ctx.self()) + 1);
+    // Acquisition: read the waiting-policy configuration (the 1R the
+    // configure operation pairs with).
+    (void)P::load(ctx, config_word_);
+
+    meta_lock(ctx);
+    LockAttributes attrs = effective_attrs_for(ctx.self());
+    if (timeout_override != 0) attrs.timeout_ns = timeout_override;
+    const Nanos deadline =
+        attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+
+    // Re-check under meta: the lock may have been freed meanwhile. The RMW
+    // keeps us correct against fast-path acquirers who do not take meta.
+    if (!shared && P::fetch_or(ctx, state_, 1) == 0) {
+      holders_ = 1;
+      meta_unlock(ctx);
+      on_acquired_exclusive(ctx, /*contended=*/true, t0);
+      return true;
+    }
+
+    Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
+                               ? pending_scheduler_.get()
+                               : scheduler_.get();
+    if (target != nullptr) {
+      WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                          grant_flag_placement(ctx), shared,
+                          policy_may_sleep(attrs, opts_.advisory));
+      rec.enqueue_time = t0;
+      target->enqueue(rec);
+      waiter_count_.fetch_add(1, std::memory_order_relaxed);
+      meta_unlock(ctx);
+
+      const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
+      if (r == WaitResult::kGranted) {
+        waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+        on_granted(ctx, shared, t0);
+        return true;
+      }
+      // Timeout: resolve the race with a concurrent grant under meta.
+      meta_lock(ctx);
+      if (rec.granted_flag_host) {
+        meta_unlock(ctx);
+        waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+        on_granted(ctx, shared, t0);
+        return true;
+      }
+      target->remove(rec);
+      meta_unlock(ctx);
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      monitor_.on_timeout();
+      return false;
+    }
+
+    // Centralized barging mode (SchedulerKind::kNone).
+    meta_unlock(ctx);
+    const WaitResult r = wait_centralized(ctx, attrs, deadline);
+    if (r == WaitResult::kGranted) {
+      on_acquired_exclusive(ctx, /*contended=*/true, t0);
+      return true;
+    }
+    monitor_.on_timeout();
+    return false;
+  }
+
+  [[nodiscard]] Placement grant_flag_placement(Ctx& ctx) const {
+    return opts_.wait_placement == WaitPlacement::kWaiterLocal
+               ? Placement::on(P::home_node(ctx))
+               : opts_.placement;
+  }
+
+  // --------------------------------------------- the waiting engine ------
+
+  /// Waits for this waiter's grant flag according to the waiting policy:
+  /// rounds of a spin phase followed by a sleep phase ("a thread spins and
+  /// sleeps in turn until it acquires the lock"). The owner's advice, when
+  /// advisory mode is on, overrides the configured policy round by round.
+  WaitResult wait_queued(Ctx& ctx, WaiterRecord<P>& rec,
+                         const LockAttributes& attrs, Nanos deadline) {
+    // Pure backoff spinning grows the delay geometrically (Anderson);
+    // mixed spin/sleep policies use a constant probe gap so "spin N times"
+    // spans a predictable window before the sleep phase.
+    BackoffSchedule backoff(BackoffSchedule::Params{
+        attrs.delay_ns != 0 ? attrs.delay_ns : 1,
+        attrs.sleep_ns > 0 ? attrs.delay_ns : attrs.delay_ns * 16, 2});
+    for (;;) {
+      std::uint32_t probes = attrs.spin_count;
+      Nanos sleep_ns = attrs.sleep_ns;
+      if (opts_.advisory) apply_advice(ctx, probes, sleep_ns);
+
+      // Spin phase.
+      for (std::uint32_t i = 0; i < probes;) {
+        if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
+        monitor_.on_spin_probe();
+        if (deadline != kForever && P::now(ctx) >= deadline) {
+          return WaitResult::kTimedOut;
+        }
+        if (attrs.delay_ns != 0) {
+          P::delay(ctx, backoff.next());
+        } else {
+          P::pause(ctx);
+        }
+        if (probes != kInfiniteSpins) ++i;
+      }
+
+      // Sleep phase.
+      if (sleep_ns == 0) {
+        if (probes == 0) P::pause(ctx);  // degenerate (0,_,0,_): poll
+        continue;
+      }
+      if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
+      monitor_.on_block();
+      if (sleep_ns == kForever && deadline == kForever) {
+        P::block(ctx);
+      } else {
+        Nanos bound = sleep_ns;
+        if (deadline != kForever) {
+          const Nanos now = P::now(ctx);
+          if (now >= deadline) return WaitResult::kTimedOut;
+          bound = std::min(bound, deadline - now);
+        }
+        (void)P::block_for(ctx, bound);
+      }
+      if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
+      if (deadline != kForever && P::now(ctx) >= deadline) {
+        return WaitResult::kTimedOut;
+      }
+    }
+  }
+
+  /// Centralized waiting: TTAS probes of the state word; sleepers register
+  /// on the sleeper list and are woken en masse by release.
+  WaitResult wait_centralized(Ctx& ctx, const LockAttributes& attrs,
+                              Nanos deadline) {
+    // Pure backoff spinning grows the delay geometrically (Anderson);
+    // mixed spin/sleep policies use a constant probe gap so "spin N times"
+    // spans a predictable window before the sleep phase.
+    BackoffSchedule backoff(BackoffSchedule::Params{
+        attrs.delay_ns != 0 ? attrs.delay_ns : 1,
+        attrs.sleep_ns > 0 ? attrs.delay_ns : attrs.delay_ns * 16, 2});
+    WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                        grant_flag_placement(ctx), /*shared=*/false,
+                        policy_may_sleep(attrs, opts_.advisory));
+    for (;;) {
+      std::uint32_t probes = attrs.spin_count;
+      Nanos sleep_ns = attrs.sleep_ns;
+      if (opts_.advisory) apply_advice(ctx, probes, sleep_ns);
+
+      // Spin phase: test-and-test-and-set probes.
+      for (std::uint32_t i = 0; i < probes;) {
+        if (P::load(ctx, state_) == 0 && P::fetch_or(ctx, state_, 1) == 0) {
+          return WaitResult::kGranted;
+        }
+        monitor_.on_spin_probe();
+        if (deadline != kForever && P::now(ctx) >= deadline) {
+          return WaitResult::kTimedOut;
+        }
+        if (attrs.delay_ns != 0) {
+          P::delay(ctx, backoff.next());
+        } else {
+          P::pause(ctx);
+        }
+        if (probes != kInfiniteSpins) ++i;
+      }
+
+      if (sleep_ns == 0) {
+        if (probes == 0) P::pause(ctx);
+        continue;
+      }
+
+      // Sleep phase: register on the sleeper list; release wakes everyone.
+      meta_lock(ctx);
+      if (P::fetch_or(ctx, state_, 1) == 0) {  // freed while we took meta
+        holders_ = 1;
+        meta_unlock(ctx);
+        return WaitResult::kGranted;
+      }
+      sleepers_.push_back(rec);
+      waiter_count_.fetch_add(1, std::memory_order_relaxed);
+      meta_unlock(ctx);
+      monitor_.on_block();
+      if (sleep_ns == kForever && deadline == kForever) {
+        P::block(ctx);
+      } else {
+        Nanos bound = sleep_ns;
+        bool expired = false;
+        if (deadline != kForever) {
+          const Nanos now = P::now(ctx);
+          if (now >= deadline) {
+            expired = true;
+          } else {
+            bound = std::min(bound, deadline - now);
+          }
+        }
+        if (!expired) (void)P::block_for(ctx, bound);
+      }
+      meta_lock(ctx);
+      sleepers_.remove(rec);  // no-op if the releaser already popped us
+      meta_unlock(ctx);
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (deadline != kForever && P::now(ctx) >= deadline) {
+        return WaitResult::kTimedOut;
+      }
+    }
+  }
+
+  /// Overrides one waiting round's plan with the owner's advice. Sleep
+  /// advice carrying a tenure deadline translates into a single bounded
+  /// sleep ending kAdviceSpinMargin before the expected release, followed
+  /// by spinning (the paper's speculative lock).
+  void apply_advice(Ctx& ctx, std::uint32_t& probes, Nanos& sleep_ns) {
+    const std::uint64_t word = P::load(ctx, advice_);
+    switch (static_cast<Advice>(word & 3)) {
+      case Advice::kSpin:
+        probes = probes != 0 ? probes : kAdviceChunk;
+        sleep_ns = 0;
+        break;
+      case Advice::kSleep: {
+        probes = 0;
+        const Nanos wake_at = word >> 2;
+        if (wake_at == 0) {
+          sleep_ns = opts_.advice_sleep_slice;  // no deadline: sleep a slice
+          break;
+        }
+        const Nanos now = P::now(ctx);
+        if (wake_at > now + kAdviceSpinMargin) {
+          sleep_ns = wake_at - now - kAdviceSpinMargin;
+        } else {
+          probes = kAdviceChunk;  // inside the margin: spin for the grant
+          sleep_ns = 0;
+        }
+        break;
+      }
+      case Advice::kNone:
+        break;
+    }
+    if (probes == kInfiniteSpins) probes = kAdviceChunk;
+  }
+
+  // -------------------------------------------------------- release ------
+
+  void release(Ctx& ctx, ThreadId hint, bool shared) {
+    meta_lock(ctx);
+    if (shared) {
+      assert(holders_ > 0);
+      --holders_;
+      if (holders_ != 0) {
+        meta_unlock(ctx);
+        return;
+      }
+    } else {
+      holders_ = 0;
+      writer_held_ = false;
+      P::store(ctx, owner_, 0);
+    }
+    grant_or_free(ctx, hint);  // releases meta
+  }
+
+  /// Runs the release module: installs a pending scheduler if the old one
+  /// has drained, selects the next grant batch, and either hands the lock
+  /// off or publishes it as free. Expects meta held; releases it.
+  void grant_or_free(Ctx& ctx, ThreadId hint) {
+    if (scheduler_ != nullptr && scheduler_->empty() &&
+        has_pending_.load(std::memory_order_relaxed)) {
+      install_pending(ctx);
+    }
+    grant_scratch_.clear();
+    if (scheduler_ != nullptr) {
+      scheduler_->select(grant_scratch_, hint);
+    }
+
+    // Wake list must be local: once meta is released another thread may
+    // release again concurrently.
+    std::vector<ThreadId> to_wake;
+
+    if (grant_scratch_.empty()) {
+      // Nobody eligible: publish free and wake sleeping barging waiters.
+      P::store(ctx, state_, 0);
+      sleepers_.for_each([&](WaiterRecord<P>& w) {
+        sleepers_.remove(w);
+        to_wake.push_back(w.tid);
+        return true;
+      });
+      meta_unlock(ctx);
+      for (const ThreadId tid : to_wake) {
+        monitor_.on_wakeup();
+        P::unblock(ctx, tid);
+      }
+      return;
+    }
+
+    // Direct handoff: the state word stays held.
+    const bool shared_grant = grant_scratch_.front()->shared;
+    holders_ = static_cast<std::uint32_t>(grant_scratch_.size());
+    writer_held_ = !shared_grant;
+    assert(shared_grant || holders_ == 1);
+    if (!shared_grant) {
+      P::store(ctx, owner_,
+               static_cast<std::uint64_t>(grant_scratch_.front()->tid) + 1);
+    }
+    for (WaiterRecord<P>* w : grant_scratch_) {
+      w->granted_flag_host = true;
+      monitor_.on_handoff();
+      if (w->may_sleep) to_wake.push_back(w->tid);
+      P::store(ctx, w->granted, 1);
+      // After this store the record (on the waiter's stack) may disappear
+      // once meta is released; only the captured tids are used below.
+    }
+    grant_scratch_.clear();  // drop dangling pointers before leaving meta
+    meta_unlock(ctx);
+    for (const ThreadId tid : to_wake) {
+      monitor_.on_wakeup();
+      P::unblock(ctx, tid);
+    }
+  }
+
+  /// Common body of the configure_scheduler overloads: charges the 1R5W
+  /// cost, stages the new module, and installs it immediately when no
+  /// pre-registered waiters exist.
+  void install_scheduler(Ctx& ctx, SchedulerKind kind,
+                         std::unique_ptr<Scheduler<P>> fresh) {
+    assert((kind == SchedulerKind::kReaderWriter) == rw_capable() &&
+           "RW capability is fixed at construction");
+    monitor_.on_reconfiguration(/*scheduler_change=*/true);
+    (void)P::load(ctx, sched_flag_);                    // 1R
+    const auto code = static_cast<std::uint64_t>(kind);
+    P::store(ctx, sched_reg_, code);                    // W1: registration
+    P::store(ctx, sched_acq_, code);                    // W2: acquisition
+    P::store(ctx, sched_rel_, code);                    // W3: release
+    P::store(ctx, sched_flag_, 1);                      // W4: delay flag on
+    meta_lock(ctx);
+    pending_scheduler_ = std::move(fresh);
+    if (pending_scheduler_ != nullptr) {
+      pending_scheduler_->set_rw_preference(opts_.rw_preference);
+    }
+    pending_kind_ = kind;
+    has_pending_.store(true, std::memory_order_relaxed);
+    const bool immediate = scheduler_ == nullptr || scheduler_->empty();
+    if (immediate) install_pending(ctx);                // W5: flag reset
+    meta_unlock(ctx);
+  }
+
+  /// Installs the pending scheduler (configuration-delay completion) and
+  /// performs the deferred flag-reset write (the 5th W of 1R5W).
+  void install_pending(Ctx& ctx) {
+    scheduler_ = std::move(pending_scheduler_);
+    scheduler_kind_.store(pending_kind_, std::memory_order_relaxed);
+    has_pending_.store(false, std::memory_order_relaxed);
+    P::store(ctx, sched_flag_, 0);
+  }
+
+  // ----------------------------------------------------- bookkeeping -----
+
+  void on_acquired_exclusive(Ctx& ctx, bool contended, Nanos t0) {
+    P::store(ctx, owner_, static_cast<std::uint64_t>(ctx.self()) + 1);
+    recursion_depth_ = 0;
+    acquire_time_ = P::now(ctx);
+    monitor_.on_acquire(contended);
+    if (contended) monitor_.on_wait_complete(acquire_time_ - t0);
+  }
+
+  void on_granted(Ctx& ctx, bool shared, Nanos t0) {
+    const Nanos now = P::now(ctx);
+    if (shared) {
+      monitor_.on_shared_acquire();
+    } else {
+      recursion_depth_ = 0;
+      acquire_time_ = now;
+      monitor_.on_acquire(/*contended=*/true);
+    }
+    monitor_.on_wait_complete(now - t0);
+  }
+
+  // ------------------------------------------------- reader-writer -------
+
+  bool try_acquire_rw(Ctx& ctx, bool shared) {
+    meta_lock(ctx);
+    const bool ok = rw_can_enter(shared);
+    if (ok) rw_enter(ctx, shared);
+    meta_unlock(ctx);
+    if (ok) {
+      if (shared) {
+        monitor_.on_shared_acquire();
+      } else {
+        on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
+      }
+    }
+    return ok;
+  }
+
+  bool acquire_rw(Ctx& ctx, bool shared, Nanos timeout_override) {
+    const Nanos t0 = P::now(ctx);
+    P::store(ctx, registry_, static_cast<std::uint64_t>(ctx.self()) + 1);
+    (void)P::load(ctx, config_word_);
+
+    meta_lock(ctx);
+    LockAttributes attrs = effective_attrs_for(ctx.self());
+    if (timeout_override != 0) attrs.timeout_ns = timeout_override;
+    const Nanos deadline =
+        attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+
+    if (rw_can_enter(shared)) {
+      rw_enter(ctx, shared);
+      meta_unlock(ctx);
+      if (shared) {
+        monitor_.on_shared_acquire();
+      } else {
+        on_acquired_exclusive(ctx, /*contended=*/false, t0);
+      }
+      return true;
+    }
+
+    Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
+                               ? pending_scheduler_.get()
+                               : scheduler_.get();
+    assert(target != nullptr && "RW locks always have a scheduler");
+    WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                        grant_flag_placement(ctx), shared,
+                        policy_may_sleep(attrs, opts_.advisory));
+    rec.enqueue_time = t0;
+    target->enqueue(rec);
+    waiter_count_.fetch_add(1, std::memory_order_relaxed);
+    meta_unlock(ctx);
+
+    const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
+    if (r == WaitResult::kGranted) {
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, shared, t0);
+      return true;
+    }
+    meta_lock(ctx);
+    if (rec.granted_flag_host) {
+      meta_unlock(ctx);
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, shared, t0);
+      return true;
+    }
+    target->remove(rec);
+    meta_unlock(ctx);
+    waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+    monitor_.on_timeout();
+    return false;
+  }
+
+  /// Meta held. Immediate-entry rule: the lock must be compatible *and*
+  /// nobody is queued (so waiting writers are not starved by arriving
+  /// readers), except under reader preference where readers may join.
+  [[nodiscard]] bool rw_can_enter(bool shared) const {
+    const bool queue_empty =
+        (scheduler_ == nullptr || scheduler_->empty()) &&
+        (pending_scheduler_ == nullptr || pending_scheduler_->empty());
+    if (shared) {
+      const bool compatible = !writer_held_;
+      if (opts_.rw_preference == RwPreference::kReaderPref) {
+        return compatible;  // readers barge past queued writers
+      }
+      return compatible && queue_empty;  // do not starve queued writers
+    }
+    return holders_ == 0 && queue_empty;
+  }
+
+  /// Meta held.
+  void rw_enter(Ctx& ctx, bool shared) {
+    if (shared) {
+      ++holders_;
+      writer_held_ = false;
+    } else {
+      holders_ = 1;
+      writer_held_ = true;
+    }
+    if (holders_ == 1) P::store(ctx, state_, 1);
+  }
+
+  // -------------------------------------------------- active locks -------
+
+  // Mailbox protocol: 0 = empty; kMailboxShared = shared releases queued
+  // under meta; >= kMailboxExclusive = one exclusive release, hint inline.
+  // An exclusive lock has at most one release in flight (the next release
+  // cannot happen before the manager grants this one), so the whole request
+  // fits in a single mailbox write - this is what makes active unlocks
+  // cheaper for the releasing processor than running the release module.
+  static constexpr std::uint64_t kMailboxShared = 1;
+  static constexpr std::uint64_t kMailboxExclusive = 2;
+
+  static constexpr std::uint64_t encode_mailbox_hint(ThreadId hint) noexcept {
+    return hint == kInvalidThread
+               ? kMailboxExclusive
+               : kMailboxExclusive + 1 + static_cast<std::uint64_t>(hint);
+  }
+  static constexpr ThreadId decode_mailbox_hint(std::uint64_t v) noexcept {
+    return v == kMailboxExclusive
+               ? kInvalidThread
+               : static_cast<ThreadId>(v - kMailboxExclusive - 1);
+  }
+
+  void post_release(Ctx& ctx, ThreadId hint, bool shared) {
+    if (!shared) {
+      P::store(ctx, mailbox_, encode_mailbox_hint(hint));
+    } else {
+      // Readers may release concurrently: queue under meta.
+      meta_lock(ctx);
+      pending_releases_.push_back(ReleaseRequest{hint, shared, acquire_time_});
+      pending_release_count_.fetch_add(1, std::memory_order_relaxed);
+      meta_unlock(ctx);
+      P::store(ctx, mailbox_, kMailboxShared);
+    }
+    if (!opts_.active_polling) {
+      const ThreadId mgr = manager_tid_.load(std::memory_order_relaxed);
+      if (mgr != kInvalidThread) P::unblock(ctx, mgr);
+    }
+  }
+
+  void drain_releases(Ctx& ctx) {
+    for (;;) {
+      // Host-side gate: never acquire meta when nothing is pending.
+      if (pending_release_count_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      meta_lock(ctx);
+      if (pending_releases_.empty()) {
+        meta_unlock(ctx);
+        return;
+      }
+      const ReleaseRequest req = pending_releases_.front();
+      pending_releases_.pop_front();
+      pending_release_count_.fetch_sub(1, std::memory_order_release);
+      meta_unlock(ctx);
+      release(ctx, req.hint, req.shared);
+    }
+  }
+
+  // ------------------------------------------------------- members -------
+
+  /// Probes per advisory round before re-polling the owner's advice.
+  static constexpr std::uint32_t kAdviceChunk = 16;
+  /// How long before the owner's announced release waiters resume spinning.
+  static constexpr Nanos kAdviceSpinMargin = 60'000;
+
+  Domain& domain_;
+  Options opts_;
+
+  // Simulated/atomic words (object + configuration state, Figure 5).
+  typename P::Word meta_;         ///< TAS guard for internal structures
+  typename P::Word state_;        ///< 0 = free, 1 = held (busy indicator)
+  typename P::Word owner_;        ///< exclusive owner tid+1, 0 = none
+  typename P::Word advice_;       ///< Advice published by the owner
+  typename P::Word config_word_;  ///< waiting-policy version (1R1W proxy)
+  typename P::Word sched_reg_;    ///< scheduler submodule: registration
+  typename P::Word sched_acq_;    ///< scheduler submodule: acquisition
+  typename P::Word sched_rel_;    ///< scheduler submodule: release
+  typename P::Word sched_flag_;   ///< configuration-delay flag
+  typename P::Word registry_;     ///< last registrant tid+1
+  typename P::Word possess_word_; ///< attribute possession bits
+  typename P::Word mailbox_;      ///< active-lock doorbell
+
+  // Waiting-policy attributes (semantic values, host side).
+  std::atomic<std::uint32_t> attr_spin_{kInfiniteSpins};
+  std::atomic<Nanos> attr_delay_{0};
+  std::atomic<Nanos> attr_sleep_{0};
+  std::atomic<Nanos> attr_timeout_{0};
+  std::atomic<std::uint64_t> config_version_{0};
+
+  // Scheduler modules (guarded by meta except the atomic flags).
+  std::unique_ptr<Scheduler<P>> scheduler_;
+  std::unique_ptr<Scheduler<P>> pending_scheduler_;
+  std::atomic<SchedulerKind> scheduler_kind_;
+  SchedulerKind pending_kind_ = SchedulerKind::kNone;
+  std::atomic<bool> has_pending_{false};
+
+  // Holder state (guarded by meta on slow paths; fast path uses state_).
+  std::uint32_t holders_ = 0;   ///< 0 free, 1 exclusive, n readers
+  bool writer_held_ = false;    ///< RW mode only
+
+  WaiterQueue<P> sleepers_;     ///< centralized-mode sleeping waiters (meta)
+  GrantBatch<P> grant_scratch_; ///< reused strictly under meta
+
+  // Owner-only bookkeeping.
+  std::uint32_t recursion_depth_ = 0;
+  Nanos acquire_time_ = 0;
+
+  // Per-thread waiting-policy overrides (meta).
+  std::unordered_map<ThreadId, LockAttributes> thread_attrs_;
+  std::atomic<bool> has_thread_attrs_{false};
+
+  // Active-lock machinery.
+  std::deque<ReleaseRequest> pending_releases_;  ///< meta
+  std::atomic<std::uint32_t> pending_release_count_{0};
+  std::atomic<ThreadId> manager_tid_{kInvalidThread};
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint32_t> waiter_count_{0};
+  LockMonitor monitor_;
+};
+
+}  // namespace relock

@@ -1,0 +1,50 @@
+// Earliest-deadline-first lock scheduling: a user-supplied scheduler module
+// demonstrating the extensibility the paper argues for ("the construction
+// of new primitives on top of the existing ones or the extension with
+// additional primitives"). Deadline-based dynamic lock scheduling for
+// multiprocessor real-time threads is the [ZSG92] direction the paper
+// cites.
+//
+// Each waiter's Priority value is interpreted as its deadline (smaller =
+// earlier = more urgent); release grants the earliest deadline, FIFO among
+// equals. Install it dynamically:
+//
+//   lock.configure_scheduler(ctx, std::make_unique<EdfScheduler<P>>());
+#pragma once
+
+#include "relock/core/scheduler.hpp"
+
+namespace relock {
+
+template <Platform P>
+class EdfScheduler final : public Scheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kCustom;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    WaiterRecord<P>* best = nullptr;
+    queue_.for_each([&](WaiterRecord<P>& w) {
+      // Priority encodes the deadline: smaller value = earlier deadline.
+      if (best == nullptr || w.priority < best->priority) best = &w;
+      return true;
+    });
+    if (best != nullptr) {
+      queue_.remove(*best);
+      out.push_back(best);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  WaiterQueue<P> queue_;
+};
+
+}  // namespace relock

@@ -1,0 +1,301 @@
+// The lock scheduling component Gamma = (registration, acquisition,
+// release) (paper section 3.1). A Scheduler owns the queue of registered
+// waiters (registration), decides their eligibility (acquisition), and
+// selects who is granted the lock on release (release).
+//
+// All methods are called under the owning lock's meta guard; schedulers are
+// therefore plain single-threaded data structures.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "relock/core/attributes.hpp"
+#include "relock/core/waiter.hpp"
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// The set of waiters granted by one release. A single writer, or - for the
+/// reader-writer scheduler - a batch of readers.
+template <Platform P>
+using GrantBatch = std::vector<WaiterRecord<P>*>;
+
+template <Platform P>
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual SchedulerKind kind() const noexcept = 0;
+
+  /// Registration: logs a waiter that must wait.
+  virtual void enqueue(WaiterRecord<P>& w) = 0;
+
+  /// Withdraws a waiter (timeout / abandoned conditional acquisition).
+  virtual void remove(WaiterRecord<P>& w) = 0;
+
+  /// Release: selects (and unlinks) the next grant recipients. `hint` is
+  /// the handoff target (kInvalidThread = none). May select nobody even
+  /// when waiters exist (e.g. all below a priority threshold).
+  virtual void select(GrantBatch<P>& out, ThreadId hint) = 0;
+
+  [[nodiscard]] virtual bool empty() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  // Priority-threshold parameters (no-ops for other kinds).
+  virtual void set_threshold(Priority) {}
+  [[nodiscard]] virtual Priority threshold() const noexcept {
+    return kDefaultPriority;
+  }
+
+  // Reader-writer parameters (no-ops for other kinds).
+  virtual void set_rw_preference(RwPreference) {}
+};
+
+/// FCFS: strict FIFO grant order. The most common multiprocessor lock
+/// scheduler; fair but oblivious to application structure.
+template <Platform P>
+class FcfsScheduler final : public Scheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kFcfs;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (WaiterRecord<P>* w = queue_.front()) {
+      queue_.remove(*w);
+      out.push_back(w);
+    }
+  }
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  WaiterQueue<P> queue_;
+};
+
+/// Priority queue: grants the waiter with the highest priority (FIFO among
+/// equals). Inherently unfair; useful when some threads' progress matters
+/// more (paper section 4.3.1). Selection is a linear scan - queue lengths
+/// are bounded by thread counts and the scan runs under the meta guard.
+template <Platform P>
+class PriorityQueueScheduler final : public Scheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kPriorityQueue;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    WaiterRecord<P>* best = nullptr;
+    queue_.for_each([&](WaiterRecord<P>& w) {
+      if (best == nullptr || w.priority > best->priority) best = &w;
+      return true;
+    });
+    if (best != nullptr) {
+      queue_.remove(*best);
+      out.push_back(best);
+    }
+  }
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  WaiterQueue<P> queue_;
+};
+
+/// Priority threshold: the implementation the paper's client-server
+/// experiment uses (section 4.3.1, "second implementation"): the lock
+/// carries a threshold priority; only waiters with priority >= threshold
+/// are eligible, FCFS among the eligible. Raising the threshold dynamically
+/// makes low-priority clients ineligible so the server is served first.
+template <Platform P>
+class PriorityThresholdScheduler final : public Scheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kPriorityThreshold;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    WaiterRecord<P>* chosen = nullptr;
+    queue_.for_each([&](WaiterRecord<P>& w) {
+      if (w.priority >= threshold_) {
+        chosen = &w;
+        return false;  // FCFS among eligible: first hit wins
+      }
+      return true;
+    });
+    if (chosen != nullptr) {
+      queue_.remove(*chosen);
+      out.push_back(chosen);
+    }
+    // No eligible waiter: grant nobody; the lock is released as free and
+    // ineligible waiters keep waiting for the threshold to drop.
+  }
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+  void set_threshold(Priority p) override { threshold_ = p; }
+  [[nodiscard]] Priority threshold() const noexcept override {
+    return threshold_;
+  }
+
+ private:
+  WaiterQueue<P> queue_;
+  Priority threshold_ = kDefaultPriority;
+};
+
+/// Handoff: the releaser names the next owner (paper section 4.3.1). The
+/// critical section is handed directly to the hinted thread if it is
+/// waiting; otherwise falls back to FCFS. Unfair and application-specific
+/// by design.
+template <Platform P>
+class HandoffScheduler final : public Scheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kHandoff;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+  void select(GrantBatch<P>& out, ThreadId hint) override {
+    WaiterRecord<P>* chosen = nullptr;
+    if (hint != kInvalidThread) {
+      queue_.for_each([&](WaiterRecord<P>& w) {
+        if (w.tid == hint) {
+          chosen = &w;
+          return false;
+        }
+        return true;
+      });
+    }
+    if (chosen == nullptr) chosen = queue_.front();  // fallback: FCFS
+    if (chosen != nullptr) {
+      queue_.remove(*chosen);
+      out.push_back(chosen);
+    }
+  }
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+
+ private:
+  WaiterQueue<P> queue_;
+};
+
+/// Reader-writer: allows multiple readers inside the critical section
+/// (paper section 4.3.3). Grant batches: a single writer, or a batch of
+/// readers chosen according to the configured preference.
+template <Platform P>
+class ReaderWriterScheduler final : public Scheduler<P> {
+ public:
+  explicit ReaderWriterScheduler(RwPreference pref = RwPreference::kFifo)
+      : pref_(pref) {}
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kReaderWriter;
+  }
+  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
+  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
+
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (queue_.empty()) return;
+    switch (pref_) {
+      case RwPreference::kFifo: {
+        // Head decides: a writer goes alone; a reader takes every reader up
+        // to the first writer.
+        if (!queue_.front()->shared) {
+          take(*queue_.front(), out);
+          return;
+        }
+        queue_.for_each([&](WaiterRecord<P>& w) {
+          if (!w.shared) return false;
+          take(w, out);
+          return true;
+        });
+        return;
+      }
+      case RwPreference::kReaderPref: {
+        bool any_reader = false;
+        queue_.for_each([&](WaiterRecord<P>& w) {
+          if (w.shared) {
+            take(w, out);
+            any_reader = true;
+          }
+          return true;
+        });
+        if (!any_reader && !queue_.empty()) take(*queue_.front(), out);
+        return;
+      }
+      case RwPreference::kWriterPref: {
+        WaiterRecord<P>* writer = nullptr;
+        queue_.for_each([&](WaiterRecord<P>& w) {
+          if (!w.shared) {
+            writer = &w;
+            return false;
+          }
+          return true;
+        });
+        if (writer != nullptr) {
+          take(*writer, out);
+        } else {
+          queue_.for_each([&](WaiterRecord<P>& w) {
+            take(w, out);
+            return true;
+          });
+        }
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return queue_.size();
+  }
+  void set_rw_preference(RwPreference p) override { pref_ = p; }
+
+ private:
+  void take(WaiterRecord<P>& w, GrantBatch<P>& out) {
+    queue_.remove(w);
+    out.push_back(&w);
+  }
+
+  WaiterQueue<P> queue_;
+  RwPreference pref_;
+};
+
+/// Factory for dynamic scheduler reconfiguration.
+template <Platform P>
+std::unique_ptr<Scheduler<P>> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler<P>>();
+    case SchedulerKind::kPriorityQueue:
+      return std::make_unique<PriorityQueueScheduler<P>>();
+    case SchedulerKind::kPriorityThreshold:
+      return std::make_unique<PriorityThresholdScheduler<P>>();
+    case SchedulerKind::kHandoff:
+      return std::make_unique<HandoffScheduler<P>>();
+    case SchedulerKind::kReaderWriter:
+      return std::make_unique<ReaderWriterScheduler<P>>();
+    case SchedulerKind::kNone:
+      break;
+    case SchedulerKind::kCustom:
+      assert(false && "custom schedulers are installed by instance, "
+                      "not by kind");
+      break;
+  }
+  return nullptr;  // centralized barging: no queue at all
+}
+
+}  // namespace relock

@@ -1,0 +1,98 @@
+// WaiterRecord: the per-acquisition registration record (paper section 3.2:
+// "a requesting thread registers itself with the lock object"). Lives on the
+// waiting thread's stack; linked into the lock scheduler's queue under the
+// lock's meta guard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "relock/core/attributes.hpp"
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+template <Platform P>
+struct WaiterRecord {
+  WaiterRecord(typename P::Domain& domain, ThreadId tid_, Priority priority_,
+               Placement flag_placement, bool shared_, bool may_sleep_)
+      : granted(domain, 0, flag_placement),
+        tid(tid_),
+        priority(priority_),
+        shared(shared_),
+        may_sleep(may_sleep_) {}
+  WaiterRecord(const WaiterRecord&) = delete;
+  WaiterRecord& operator=(const WaiterRecord&) = delete;
+
+  /// Grant flag the waiter polls / sleeps on. With WaitPlacement::
+  /// kWaiterLocal this sits in the waiter's node memory (the "distributed"
+  /// configuration); otherwise on the lock's home node.
+  typename P::Word granted;
+
+  ThreadId tid;
+  Priority priority;
+  bool shared;     ///< reader (lock_shared) vs. writer acquisition
+  bool may_sleep;  ///< waiting policy can sleep: granter must send a wakeup
+
+  /// Set under the lock's meta guard when the waiter has been dequeued and
+  /// granted; used to resolve the timeout-vs-grant race.
+  bool granted_flag_host = false;
+
+  Nanos enqueue_time = 0;
+
+  // Intrusive doubly-linked queue node, guarded by the lock's meta word.
+  WaiterRecord* prev = nullptr;
+  WaiterRecord* next = nullptr;
+  bool queued = false;
+};
+
+/// Intrusive FIFO of waiter records. All operations require the owning
+/// lock's meta guard.
+template <Platform P>
+class WaiterQueue {
+ public:
+  using Rec = WaiterRecord<P>;
+
+  void push_back(Rec& r) noexcept {
+    r.prev = tail_;
+    r.next = nullptr;
+    r.queued = true;
+    if (tail_ != nullptr) {
+      tail_->next = &r;
+    } else {
+      head_ = &r;
+    }
+    tail_ = &r;
+    ++size_;
+  }
+
+  void remove(Rec& r) noexcept {
+    if (!r.queued) return;
+    if (r.prev != nullptr) r.prev->next = r.next; else head_ = r.next;
+    if (r.next != nullptr) r.next->prev = r.prev; else tail_ = r.prev;
+    r.prev = r.next = nullptr;
+    r.queued = false;
+    --size_;
+  }
+
+  [[nodiscard]] Rec* front() const noexcept { return head_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Iterates in FIFO order; `fn` returning false stops the walk.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (Rec* r = head_; r != nullptr;) {
+      Rec* next = r->next;  // fn may unlink r
+      if (!fn(*r)) return;
+      r = next;
+    }
+  }
+
+ private:
+  Rec* head_ = nullptr;
+  Rec* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace relock

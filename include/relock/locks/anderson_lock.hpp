@@ -1,0 +1,54 @@
+// Anderson's array-based queue lock [ALL89]: each waiter spins on its own
+// array slot, reducing hot-spot traffic relative to TAS/ticket locks.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// Array-queue lock. `capacity` must be at least the maximum number of
+/// threads that can contend simultaneously (slot indices wrap).
+template <Platform P>
+class AndersonArrayLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit AndersonArrayLock(typename P::Domain& domain,
+                             std::uint32_t capacity = 64,
+                             Placement placement = Placement::any(),
+                             std::uint32_t max_threads = 1024)
+      : capacity_(capacity), next_slot_(domain, 0, placement),
+        my_slot_(max_threads, 0) {
+    assert(capacity_ > 0);
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      // Slot 0 starts "has lock"; the rest "must wait".
+      flags_.emplace_back(domain, i == 0 ? 1 : 0, placement);
+    }
+  }
+
+  void lock(Ctx& ctx) {
+    const std::uint64_t slot = P::fetch_add(ctx, next_slot_, 1) % capacity_;
+    my_slot_[ctx.self()] = static_cast<std::uint32_t>(slot);
+    while (P::load(ctx, flags_[slot]) == 0) {
+      P::pause(ctx);
+    }
+    P::store(ctx, flags_[slot], 0);  // consume for the next wrap-around
+  }
+
+  void unlock(Ctx& ctx) {
+    const std::uint32_t slot = my_slot_[ctx.self()];
+    P::store(ctx, flags_[(slot + 1) % capacity_], 1);
+  }
+
+ private:
+  std::uint32_t capacity_;
+  typename P::Word next_slot_;
+  std::deque<typename P::Word> flags_;  // deque: Words are immovable
+  std::vector<std::uint32_t> my_slot_;  ///< slot i touched only by thread i
+};
+
+}  // namespace relock

@@ -1,0 +1,115 @@
+// Blocking lock: waiters are descheduled (parked) instead of spinning.
+//
+// This is the paper's "blocking-lock" row (Tables 2-4) and the blocking
+// baseline of every figure. Lock handoff is *direct*: the releaser selects
+// the FIFO head, marks it granted and wakes it without ever publishing the
+// lock as free, so there is no barging and wakeup order equals registration
+// order.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+template <Platform P>
+class BlockingLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit BlockingLock(typename P::Domain& domain,
+                        Placement placement = Placement::any())
+      : meta_(domain, 0, placement), locked_(domain, 0, placement) {}
+  BlockingLock(const BlockingLock&) = delete;
+  BlockingLock& operator=(const BlockingLock&) = delete;
+
+  void lock(Ctx& ctx) {
+    meta_lock(ctx);
+    if (P::load(ctx, locked_) == 0) {
+      P::store(ctx, locked_, 1);
+      meta_unlock(ctx);
+      return;
+    }
+    WaitNode node{ctx.self()};
+    enqueue(&node);
+    meta_unlock(ctx);
+    while (node.granted.load(std::memory_order_acquire) == 0) {
+      P::block(ctx);
+    }
+  }
+
+  bool try_lock(Ctx& ctx) {
+    meta_lock(ctx);
+    const bool free = P::load(ctx, locked_) == 0;
+    if (free) P::store(ctx, locked_, 1);
+    meta_unlock(ctx);
+    return free;
+  }
+
+  void unlock(Ctx& ctx) {
+    meta_lock(ctx);
+    WaitNode* next = dequeue();
+    if (next == nullptr) {
+      P::store(ctx, locked_, 0);
+      meta_unlock(ctx);
+      return;
+    }
+    const ThreadId tid = next->tid;
+    next->granted.store(1, std::memory_order_release);
+    // After `granted` is set the node (on the waiter's stack) may vanish:
+    // do not touch `next` again. Waking via the ThreadId is safe.
+    meta_unlock(ctx);
+    P::unblock(ctx, tid);
+  }
+
+ private:
+  /// Intrusive FIFO node living on the waiter's stack. The queue structure
+  /// itself is host bookkeeping; its cost in the simulator is represented by
+  /// the meta-word critical section plus the modelled block/wakeup costs.
+  struct WaitNode {
+    explicit WaitNode(ThreadId t) : tid(t) {}
+    ThreadId tid;
+    std::atomic<std::uint32_t> granted{0};
+    WaitNode* next = nullptr;
+  };
+
+  // TTAS probing keeps contended meta acquisition off the expensive atomic
+  // path of the memory module.
+  void meta_lock(Ctx& ctx) {
+    for (;;) {
+      if (P::load_relaxed(ctx, meta_) == 0 &&
+          P::fetch_or(ctx, meta_, 1) == 0) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+  void meta_unlock(Ctx& ctx) { P::store(ctx, meta_, 0); }
+
+  void enqueue(WaitNode* n) {
+    if (tail_ == nullptr) {
+      head_ = tail_ = n;
+    } else {
+      tail_->next = n;
+      tail_ = n;
+    }
+  }
+
+  WaitNode* dequeue() {
+    WaitNode* n = head_;
+    if (n != nullptr) {
+      head_ = n->next;
+      if (head_ == nullptr) tail_ = nullptr;
+    }
+    return n;
+  }
+
+  typename P::Word meta_;    ///< TAS guard for the wait queue + locked_
+  typename P::Word locked_;  ///< 1 while some thread owns the lock
+  WaitNode* head_ = nullptr; ///< guarded by meta_
+  WaitNode* tail_ = nullptr; ///< guarded by meta_
+};
+
+}  // namespace relock

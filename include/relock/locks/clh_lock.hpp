@@ -1,0 +1,60 @@
+// CLH queue lock (Craig; Landin & Hagersten): implicit queue, each waiter
+// spins on its predecessor's node. Like MCS it is a "distributed" lock in
+// the paper's taxonomy, though nodes migrate between threads which weakens
+// NUMA locality (a known CLH property; MCS is preferred on NUMA).
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+template <Platform P>
+class ClhLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit ClhLock(typename P::Domain& domain,
+                   Placement placement = Placement::any(),
+                   std::uint32_t max_threads = 1024)
+      : tail_(domain, max_threads, placement),  // initial tail = extra node
+        my_node_(max_threads), my_pred_(max_threads, 0) {
+    for (std::uint32_t i = 0; i <= max_threads; ++i) {
+      // Node value 1 = holder/waiter pending, 0 = released. The initial
+      // tail node (index max_threads) starts released.
+      nodes_.emplace_back(domain, i == max_threads ? 0 : 1, placement);
+      if (i < max_threads) my_node_[i] = i;
+    }
+  }
+
+  void lock(Ctx& ctx) {
+    const ThreadId tid = ctx.self();
+    const std::uint32_t mine = my_node_[tid];
+    P::store(ctx, nodes_[mine], 1);  // announce: pending
+    const auto pred = static_cast<std::uint32_t>(
+        P::exchange(ctx, tail_, mine));
+    my_pred_[tid] = pred;
+    while (P::load(ctx, nodes_[pred]) == 1) {
+      P::pause(ctx);
+    }
+  }
+
+  void unlock(Ctx& ctx) {
+    const ThreadId tid = ctx.self();
+    const std::uint32_t mine = my_node_[tid];
+    P::store(ctx, nodes_[mine], 0);
+    // Adopt the predecessor's (now quiescent) node for the next acquisition.
+    my_node_[tid] = my_pred_[tid];
+  }
+
+ private:
+  typename P::Word tail_;  ///< index of the most recent queue node
+  std::deque<typename P::Word> nodes_;  // deque: Words are immovable
+  std::vector<std::uint32_t> my_node_;  ///< per-thread current node index
+  std::vector<std::uint32_t> my_pred_;  ///< per-thread predecessor index
+};
+
+}  // namespace relock

@@ -1,0 +1,54 @@
+// Concepts and RAII guards shared by all lock types.
+#pragma once
+
+#include <concepts>
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// A mutual-exclusion lock usable from a platform context.
+template <typename L, typename P>
+concept ContextLockable = Platform<P> && requires(L& l, typename P::Context& ctx) {
+  { l.lock(ctx) };
+  { l.unlock(ctx) };
+};
+
+/// Adds polling acquisition.
+template <typename L, typename P>
+concept ContextTryLockable =
+    ContextLockable<L, P> && requires(L& l, typename P::Context& ctx) {
+      { l.try_lock(ctx) } -> std::same_as<bool>;
+    };
+
+/// RAII guard: locks on construction, unlocks on destruction.
+template <typename L, typename Ctx>
+class [[nodiscard]] Guard {
+ public:
+  Guard(L& lock, Ctx& ctx) : lock_(lock), ctx_(ctx) { lock_.lock(ctx_); }
+  ~Guard() { lock_.unlock(ctx_); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  L& lock_;
+  Ctx& ctx_;
+};
+
+/// RAII guard for shared (reader) acquisition.
+template <typename L, typename Ctx>
+class [[nodiscard]] SharedGuard {
+ public:
+  SharedGuard(L& lock, Ctx& ctx) : lock_(lock), ctx_(ctx) {
+    lock_.lock_shared(ctx_);
+  }
+  ~SharedGuard() { lock_.unlock_shared(ctx_); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  L& lock_;
+  Ctx& ctx_;
+};
+
+}  // namespace relock

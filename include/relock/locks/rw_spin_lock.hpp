@@ -1,0 +1,60 @@
+// Baseline reader-writer spin lock (single word: writer bit + reader count).
+// Serves as the comparison point for the configurable lock's reader-writer
+// scheduler configuration (paper section 4.3.3).
+#pragma once
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// Writer-preference-free (i.e. barging) reader-writer spin lock.
+/// Word layout: bit 0 = writer held; bits 1..63 = reader count.
+template <Platform P>
+class RwSpinLock {
+ public:
+  using Ctx = typename P::Context;
+
+  static constexpr std::uint64_t kWriter = 1;
+  static constexpr std::uint64_t kReader = 2;
+
+  explicit RwSpinLock(typename P::Domain& domain,
+                      Placement placement = Placement::any())
+      : word_(domain, 0, placement) {}
+
+  void lock(Ctx& ctx) {  // writer
+    for (;;) {
+      if (P::load_relaxed(ctx, word_) == 0 && P::cas(ctx, word_, 0, kWriter)) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+
+  bool try_lock(Ctx& ctx) { return P::cas(ctx, word_, 0, kWriter); }
+
+  void unlock(Ctx& ctx) { P::fetch_and(ctx, word_, ~kWriter); }
+
+  void lock_shared(Ctx& ctx) {
+    for (;;) {
+      const std::uint64_t v = P::load_relaxed(ctx, word_);
+      if ((v & kWriter) == 0 && P::cas(ctx, word_, v, v + kReader)) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+
+  bool try_lock_shared(Ctx& ctx) {
+    const std::uint64_t v = P::load(ctx, word_);
+    return (v & kWriter) == 0 && P::cas(ctx, word_, v, v + kReader);
+  }
+
+  void unlock_shared(Ctx& ctx) {
+    P::fetch_add(ctx, word_, static_cast<std::uint64_t>(-static_cast<std::int64_t>(kReader)));
+  }
+
+ private:
+  typename P::Word word_;
+};
+
+}  // namespace relock

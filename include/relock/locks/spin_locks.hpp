@@ -1,0 +1,106 @@
+// Centralized spin locks: TAS, TTAS, and Anderson-style backoff spinning.
+//
+// These are the paper's "spin-lock" and "spin-with-backoff" rows (Tables
+// 2-4) and the spin baselines of Figures 1-3 and 7-8. On the Butterfly the
+// underlying primitive is `atomior` (atomic fetch-or, akin to test-and-set);
+// Platform::fetch_or models exactly that.
+#pragma once
+
+#include "relock/platform/backoff.hpp"
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// Test-and-set lock: every probe is an atomic RMW on the (possibly remote)
+/// lock word. Minimal latency when uncontended; generates maximal memory /
+/// switch traffic when contended.
+template <Platform P>
+class TasLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit TasLock(typename P::Domain& domain,
+                   Placement placement = Placement::any())
+      : word_(domain, 0, placement) {}
+
+  void lock(Ctx& ctx) {
+    while (P::fetch_or(ctx, word_, 1) != 0) {
+      P::pause(ctx);
+    }
+  }
+
+  bool try_lock(Ctx& ctx) { return P::fetch_or(ctx, word_, 1) == 0; }
+
+  void unlock(Ctx& ctx) { P::store(ctx, word_, 0); }
+
+ private:
+  typename P::Word word_;
+};
+
+/// Test-and-test-and-set: spins with plain reads (cache/local-copy friendly)
+/// and only attempts the RMW when the word looks free.
+template <Platform P>
+class TtasLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit TtasLock(typename P::Domain& domain,
+                    Placement placement = Placement::any())
+      : word_(domain, 0, placement) {}
+
+  void lock(Ctx& ctx) {
+    for (;;) {
+      if (P::load_relaxed(ctx, word_) == 0 &&
+          P::fetch_or(ctx, word_, 1) == 0) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+
+  bool try_lock(Ctx& ctx) {
+    return P::load_relaxed(ctx, word_) == 0 && P::fetch_or(ctx, word_, 1) == 0;
+  }
+
+  void unlock(Ctx& ctx) { P::store(ctx, word_, 0); }
+
+ private:
+  typename P::Word word_;
+};
+
+/// Spin lock with Ethernet-style exponential backoff between probes
+/// (Anderson et al. [ALL89]). The paper's Butterfly variant backs off
+/// proportionally to observed load; the geometric schedule approximates the
+/// same contention-throttling behaviour.
+template <Platform P>
+class BackoffSpinLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit BackoffSpinLock(typename P::Domain& domain,
+                           Placement placement = Placement::any(),
+                           BackoffSchedule::Params params = {})
+      : word_(domain, 0, placement), params_(params) {}
+
+  void lock(Ctx& ctx) {
+    if (P::fetch_or(ctx, word_, 1) == 0) return;  // uncontended fast path
+    BackoffSchedule schedule(params_);
+    for (;;) {
+      P::delay(ctx, schedule.next());
+      if (P::load_relaxed(ctx, word_) == 0 &&
+          P::fetch_or(ctx, word_, 1) == 0) {
+        return;
+      }
+    }
+  }
+
+  bool try_lock(Ctx& ctx) { return P::fetch_or(ctx, word_, 1) == 0; }
+
+  void unlock(Ctx& ctx) { P::store(ctx, word_, 0); }
+
+ private:
+  typename P::Word word_;
+  BackoffSchedule::Params params_;
+};
+
+}  // namespace relock

@@ -1,0 +1,44 @@
+// Ticket lock: FIFO-fair centralized spin lock (two counters).
+#pragma once
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+/// Classic ticket lock. Acquisition order is strictly FIFO, which makes it a
+/// useful oracle in fairness tests; all waiters spin on the shared
+/// now-serving word, so it remains a *centralized* lock in the paper's
+/// taxonomy (contrast McsLock).
+template <Platform P>
+class TicketLock {
+ public:
+  using Ctx = typename P::Context;
+
+  explicit TicketLock(typename P::Domain& domain,
+                      Placement placement = Placement::any())
+      : next_ticket_(domain, 0, placement), now_serving_(domain, 0, placement) {}
+
+  void lock(Ctx& ctx) {
+    const std::uint64_t my = P::fetch_add(ctx, next_ticket_, 1);
+    while (P::load(ctx, now_serving_) != my) {
+      P::pause(ctx);
+    }
+  }
+
+  bool try_lock(Ctx& ctx) {
+    const std::uint64_t serving = P::load(ctx, now_serving_);
+    // Succeed only if no one is ahead of us: CAS next_ticket serving->serving+1.
+    return P::cas(ctx, next_ticket_, serving, serving + 1);
+  }
+
+  void unlock(Ctx& ctx) {
+    const std::uint64_t serving = P::load_relaxed(ctx, now_serving_);
+    P::store(ctx, now_serving_, serving + 1);
+  }
+
+ private:
+  typename P::Word next_ticket_;
+  typename P::Word now_serving_;
+};
+
+}  // namespace relock

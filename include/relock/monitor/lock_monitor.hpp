@@ -1,0 +1,180 @@
+// The lock monitor module (paper section 3.2): a lightweight, always-safe
+// statistics collector attached to a lock object. The information it gathers
+// feeds the internal reconfiguration policy and/or an external agent (the
+// adaptation policies in relock/adapt) that decides on new configurations.
+//
+// Counters use relaxed atomics: they are monotone event counts whose
+// cross-thread ordering does not matter, and the collection path must not
+// perturb the lock it observes.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "relock/platform/types.hpp"
+
+namespace relock {
+
+/// Snapshot of a lock's monitored state (plain values, safe to copy around).
+struct LockStats {
+  std::uint64_t acquisitions = 0;        ///< successful lock/lock_shared
+  std::uint64_t contended_acquisitions = 0;  ///< had to enter the wait path
+  std::uint64_t releases = 0;
+  std::uint64_t handoffs = 0;            ///< grants made directly to a waiter
+  std::uint64_t blocks = 0;              ///< times a waiter went to sleep
+  std::uint64_t wakeups = 0;             ///< sleeping waiters woken by grants
+  std::uint64_t timeouts = 0;            ///< conditional acquisitions expired
+  std::uint64_t spin_probes = 0;         ///< individual waiting probes
+  std::uint64_t reconfigurations = 0;    ///< configure() calls of any kind
+  std::uint64_t scheduler_changes = 0;
+  std::uint64_t shared_acquisitions = 0;
+
+  Nanos total_wait_ns = 0;  ///< summed registration -> grant times
+  Nanos total_hold_ns = 0;  ///< summed acquire -> release times
+  Nanos max_wait_ns = 0;
+  Nanos max_hold_ns = 0;
+
+  /// log2 histograms: bucket i counts durations in [2^i, 2^(i+1)) ns.
+  static constexpr std::size_t kBuckets = 32;
+  std::array<std::uint64_t, kBuckets> wait_histogram{};
+  std::array<std::uint64_t, kBuckets> hold_histogram{};
+
+  [[nodiscard]] double mean_wait_ns() const {
+    return contended_acquisitions == 0
+               ? 0.0
+               : static_cast<double>(total_wait_ns) /
+                     static_cast<double>(contended_acquisitions);
+  }
+  [[nodiscard]] double mean_hold_ns() const {
+    return releases == 0 ? 0.0
+                         : static_cast<double>(total_hold_ns) /
+                               static_cast<double>(releases);
+  }
+  [[nodiscard]] double contention_ratio() const {
+    return acquisitions == 0
+               ? 0.0
+               : static_cast<double>(contended_acquisitions) /
+                     static_cast<double>(acquisitions);
+  }
+};
+
+/// Live monitor attached to a lock. All mutators are safe to call
+/// concurrently; `snapshot()` is approximately consistent (counters may be
+/// skewed by in-flight operations, which is acceptable for adaptation).
+class LockMonitor {
+ public:
+  LockMonitor() = default;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void on_acquire(bool contended) noexcept {
+    if (!enabled()) return;
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void on_shared_acquire() noexcept {
+    if (!enabled()) return;
+    shared_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_wait_complete(Nanos wait_ns) noexcept {
+    if (!enabled()) return;
+    total_wait_.fetch_add(wait_ns, std::memory_order_relaxed);
+    update_max(max_wait_, wait_ns);
+    bump(wait_hist_, wait_ns);
+  }
+  void on_release(Nanos hold_ns) noexcept {
+    if (!enabled()) return;
+    releases_.fetch_add(1, std::memory_order_relaxed);
+    total_hold_.fetch_add(hold_ns, std::memory_order_relaxed);
+    update_max(max_hold_, hold_ns);
+    bump(hold_hist_, hold_ns);
+  }
+  void on_handoff() noexcept { bump_if(handoffs_); }
+  void on_block() noexcept { bump_if(blocks_); }
+  void on_wakeup() noexcept { bump_if(wakeups_); }
+  void on_timeout() noexcept { bump_if(timeouts_); }
+  void on_spin_probe() noexcept { bump_if(spin_probes_); }
+  void on_reconfiguration(bool scheduler_change) noexcept {
+    bump_if(reconfigurations_);
+    if (scheduler_change) bump_if(scheduler_changes_);
+  }
+
+  [[nodiscard]] LockStats snapshot() const {
+    LockStats s;
+    s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    s.contended_acquisitions = contended_.load(std::memory_order_relaxed);
+    s.releases = releases_.load(std::memory_order_relaxed);
+    s.handoffs = handoffs_.load(std::memory_order_relaxed);
+    s.blocks = blocks_.load(std::memory_order_relaxed);
+    s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.spin_probes = spin_probes_.load(std::memory_order_relaxed);
+    s.reconfigurations = reconfigurations_.load(std::memory_order_relaxed);
+    s.scheduler_changes = scheduler_changes_.load(std::memory_order_relaxed);
+    s.shared_acquisitions =
+        shared_acquisitions_.load(std::memory_order_relaxed);
+    s.total_wait_ns = total_wait_.load(std::memory_order_relaxed);
+    s.total_hold_ns = total_hold_.load(std::memory_order_relaxed);
+    s.max_wait_ns = max_wait_.load(std::memory_order_relaxed);
+    s.max_hold_ns = max_hold_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
+      s.wait_histogram[i] = wait_hist_[i].load(std::memory_order_relaxed);
+      s.hold_histogram[i] = hold_hist_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    acquisitions_ = 0; contended_ = 0; releases_ = 0; handoffs_ = 0;
+    blocks_ = 0; wakeups_ = 0; timeouts_ = 0; spin_probes_ = 0;
+    reconfigurations_ = 0; scheduler_changes_ = 0; shared_acquisitions_ = 0;
+    total_wait_ = 0; total_hold_ = 0; max_wait_ = 0; max_hold_ = 0;
+    for (auto& b : wait_hist_) b = 0;
+    for (auto& b : hold_hist_) b = 0;
+  }
+
+  static std::size_t bucket_of(Nanos ns) noexcept {
+    if (ns == 0) return 0;
+    const int bit = 63 - __builtin_clzll(ns);
+    return std::min<std::size_t>(static_cast<std::size_t>(bit),
+                                 LockStats::kBuckets - 1);
+  }
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+
+  void bump_if(Counter& c) noexcept {
+    if (enabled()) c.fetch_add(1, std::memory_order_relaxed);
+  }
+  void bump(std::array<Counter, LockStats::kBuckets>& hist,
+            Nanos ns) noexcept {
+    hist[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+  static void update_max(Counter& slot, Nanos v) noexcept {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<bool> enabled_{false};
+  Counter acquisitions_{0}, contended_{0}, releases_{0}, handoffs_{0};
+  Counter blocks_{0}, wakeups_{0}, timeouts_{0}, spin_probes_{0};
+  Counter reconfigurations_{0}, scheduler_changes_{0};
+  Counter shared_acquisitions_{0};
+  Counter total_wait_{0}, total_hold_{0}, max_wait_{0}, max_hold_{0};
+  std::array<Counter, LockStats::kBuckets> wait_hist_{};
+  std::array<Counter, LockStats::kBuckets> hold_hist_{};
+};
+
+}  // namespace relock

@@ -1,0 +1,80 @@
+// Human-readable rendering of LockStats: a summary block plus ASCII
+// log2 histograms of wait and hold times. Used by examples and ad-hoc
+// diagnostics; benches print paper-formatted tables instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "relock/monitor/lock_monitor.hpp"
+
+namespace relock {
+
+/// Renders one log2 histogram (bucket i covers [2^i, 2^(i+1)) ns).
+inline std::string format_histogram(
+    const std::array<std::uint64_t, LockStats::kBuckets>& hist,
+    const char* title, std::size_t bar_width = 40) {
+  std::string out;
+  out += title;
+  out += "\n";
+  std::uint64_t max = 0;
+  std::size_t lo = LockStats::kBuckets, hi = 0;
+  for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
+    if (hist[i] != 0) {
+      max = std::max(max, hist[i]);
+      lo = std::min(lo, i);
+      hi = std::max(hi, i);
+    }
+  }
+  if (max == 0) {
+    out += "  (empty)\n";
+    return out;
+  }
+  char line[160];
+  for (std::size_t i = lo; i <= hi; ++i) {
+    const auto bar = static_cast<std::size_t>(
+        hist[i] * bar_width / max);
+    std::snprintf(line, sizeof(line), "  2^%02zu ns |%-*s| %llu\n", i,
+                  static_cast<int>(bar_width),
+                  std::string(bar, '#').c_str(),
+                  static_cast<unsigned long long>(hist[i]));
+    out += line;
+  }
+  return out;
+}
+
+/// Renders the full statistics block.
+inline std::string format_stats(const LockStats& s) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "acquisitions: %llu (%llu contended, %.1f%%; %llu shared)\n"
+                "releases: %llu  handoffs: %llu  timeouts: %llu\n"
+                "blocks: %llu  wakeups: %llu  spin probes: %llu\n"
+                "reconfigurations: %llu (%llu scheduler changes)\n"
+                "wait: mean %.0f ns, max %llu ns\n"
+                "hold: mean %.0f ns, max %llu ns\n",
+                static_cast<unsigned long long>(s.acquisitions),
+                static_cast<unsigned long long>(s.contended_acquisitions),
+                100.0 * s.contention_ratio(),
+                static_cast<unsigned long long>(s.shared_acquisitions),
+                static_cast<unsigned long long>(s.releases),
+                static_cast<unsigned long long>(s.handoffs),
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.blocks),
+                static_cast<unsigned long long>(s.wakeups),
+                static_cast<unsigned long long>(s.spin_probes),
+                static_cast<unsigned long long>(s.reconfigurations),
+                static_cast<unsigned long long>(s.scheduler_changes),
+                s.mean_wait_ns(),
+                static_cast<unsigned long long>(s.max_wait_ns),
+                s.mean_hold_ns(),
+                static_cast<unsigned long long>(s.max_hold_ns));
+  out += buf;
+  out += format_histogram(s.wait_histogram, "wait-time histogram:");
+  out += format_histogram(s.hold_histogram, "hold-time histogram:");
+  return out;
+}
+
+}  // namespace relock

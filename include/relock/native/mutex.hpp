@@ -1,0 +1,120 @@
+// Drop-in native mutex types: ConfigurableLock wrapped to satisfy the
+// standard Lockable / SharedLockable named requirements, with automatic
+// per-thread context registration. This is the "just give me a better
+// mutex" entry point for adopters:
+//
+//   relock::native::Mutex mu(relock::native::Mutex::combined());
+//   {
+//     std::scoped_lock guard(mu);
+//     ...
+//   }
+#pragma once
+
+#include <cassert>
+#include <optional>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace relock::native {
+
+/// Process-wide default Domain. Intentionally leaked so that thread_local
+/// contexts created late in a thread's life can still unregister safely.
+inline Domain& default_domain() {
+  static Domain* domain = new Domain(4096);
+  return *domain;
+}
+
+/// The calling thread's auto-registered context for the default domain.
+/// Created on first use; unregistered at thread exit.
+inline Context& this_thread_context() {
+  thread_local std::optional<Context> ctx;
+  if (!ctx.has_value()) ctx.emplace(default_domain());
+  return *ctx;
+}
+
+/// A configurable mutex over the default domain. Satisfies Lockable and
+/// TimedLockable-ish requirements; every configuration and reconfiguration
+/// facility of ConfigurableLock is reachable through underlying().
+class Mutex {
+ public:
+  using Lock = ConfigurableLock<NativePlatform>;
+
+  explicit Mutex(Lock::Options options = spin())
+      : lock_(default_domain(), options) {}
+
+  void lock() {
+    const bool ok = lock_.lock(this_thread_context());
+    assert(ok && "Mutex configured with a timeout: use try_lock_for");
+    (void)ok;
+  }
+  bool try_lock() { return lock_.try_lock(this_thread_context()); }
+  bool try_lock_for(Nanos timeout) {
+    return lock_.lock_for(this_thread_context(), timeout);
+  }
+  void unlock() { lock_.unlock(this_thread_context()); }
+
+  [[nodiscard]] Lock& underlying() noexcept { return lock_; }
+
+  // --- Common configurations. ---
+  static Lock::Options spin() {
+    Lock::Options o;
+    o.scheduler = SchedulerKind::kNone;
+    o.attributes = LockAttributes::spin();
+    return o;
+  }
+  static Lock::Options combined(std::uint32_t spins = 100) {
+    Lock::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.attributes = LockAttributes::combined(spins);
+    return o;
+  }
+  static Lock::Options blocking() {
+    Lock::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.attributes = LockAttributes::blocking();
+    return o;
+  }
+  static Lock::Options recursive() {
+    Lock::Options o = combined();
+    o.recursive = true;
+    return o;
+  }
+
+ private:
+  Lock lock_;
+};
+
+/// A configurable shared mutex (reader-writer). Satisfies SharedLockable.
+class SharedMutex {
+ public:
+  using Lock = ConfigurableLock<NativePlatform>;
+
+  explicit SharedMutex(RwPreference preference = RwPreference::kFifo)
+      : lock_(default_domain(), options_for(preference)) {}
+
+  void lock() { (void)lock_.lock(this_thread_context()); }
+  bool try_lock() { return lock_.try_lock(this_thread_context()); }
+  void unlock() { lock_.unlock(this_thread_context()); }
+
+  void lock_shared() { (void)lock_.lock_shared(this_thread_context()); }
+  bool try_lock_shared() {
+    return lock_.try_lock_shared(this_thread_context());
+  }
+  void unlock_shared() { lock_.unlock_shared(this_thread_context()); }
+
+  [[nodiscard]] Lock& underlying() noexcept { return lock_; }
+
+ private:
+  static Lock::Options options_for(RwPreference preference) {
+    Lock::Options o;
+    o.scheduler = SchedulerKind::kReaderWriter;
+    o.rw_preference = preference;
+    o.attributes = LockAttributes::combined(100);
+    return o;
+  }
+
+  Lock lock_;
+};
+
+}  // namespace relock::native

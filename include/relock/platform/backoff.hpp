@@ -1,0 +1,45 @@
+// Exponential backoff in the style of Anderson et al. [ALL89]: the delay
+// between successive probes of a busy lock grows geometrically (like the
+// Ethernet collision backoff the paper cites) up to a cap.
+#pragma once
+
+#include <cstdint>
+
+#include "relock/platform/types.hpp"
+
+namespace relock {
+
+/// Pure backoff schedule: computes the next delay; the caller decides how to
+/// realize the delay (native busy-wait, simulator virtual delay, ...).
+/// Keeping the schedule separate from the delay mechanism lets the same
+/// schedule drive every Platform.
+class BackoffSchedule {
+ public:
+  struct Params {
+    Nanos initial = 128;      ///< first delay
+    Nanos cap = 64 * 1024;    ///< maximum delay
+    std::uint32_t factor = 2; ///< geometric growth factor
+  };
+
+  BackoffSchedule() = default;
+  explicit constexpr BackoffSchedule(Params p) noexcept
+      : params_(p), current_(p.initial) {}
+
+  /// Returns the delay to apply now and advances the schedule.
+  constexpr Nanos next() noexcept {
+    const Nanos d = current_;
+    const Nanos grown = current_ * params_.factor;
+    current_ = grown > params_.cap ? params_.cap : grown;
+    return d;
+  }
+
+  constexpr void reset() noexcept { current_ = params_.initial; }
+
+  [[nodiscard]] constexpr Nanos current() const noexcept { return current_; }
+
+ private:
+  Params params_{};
+  Nanos current_ = Params{}.initial;
+};
+
+}  // namespace relock

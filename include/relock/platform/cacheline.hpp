@@ -1,0 +1,28 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace relock {
+
+/// Destructive interference size. std::hardware_destructive_interference_size
+/// is 64 on x86-64 but gcc warns it is ABI-unstable; we pin the common value.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that each instance occupies its own cache line. Use for
+/// per-thread slots in arrays that are written concurrently.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace relock

@@ -1,0 +1,43 @@
+// Monotonic wall-clock helpers for the native platform and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "relock/platform/types.hpp"
+
+namespace relock {
+
+/// Nanoseconds on the steady clock since an arbitrary epoch.
+inline Nanos monotonic_now() noexcept {
+  return static_cast<Nanos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Busy-waits until `deadline` (monotonic ns). Used for precise short delays
+/// where sleeping would oversleep by a scheduler quantum.
+inline void spin_until(Nanos deadline) noexcept {
+  while (monotonic_now() < deadline) {
+    // Intentionally empty: the clock read itself throttles the loop.
+  }
+}
+
+/// Busy-waits for `ns` nanoseconds.
+inline void spin_for(Nanos ns) noexcept { spin_until(monotonic_now() + ns); }
+
+/// A tiny stopwatch for measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_now()) {}
+  void reset() noexcept { start_ = monotonic_now(); }
+  [[nodiscard]] Nanos elapsed() const noexcept {
+    return monotonic_now() - start_;
+  }
+
+ private:
+  Nanos start_;
+};
+
+}  // namespace relock

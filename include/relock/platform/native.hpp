@@ -1,0 +1,205 @@
+// The native platform: lock algorithms instantiated with NativePlatform run
+// on real host threads using std::atomic words and Parker-based blocking.
+//
+// A Domain is the unit of thread registration: every thread that touches a
+// lock first registers itself (obtaining a Context). This mirrors the paper's
+// Cthreads substrate where threads carry identifiers ("thread-id") that the
+// lock's registration module logs. Registration also gives the release path
+// a way to wake a specific thread (Parker lookup by ThreadId).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "relock/platform/cacheline.hpp"
+#include "relock/platform/clock.hpp"
+#include "relock/platform/parker.hpp"
+#include "relock/platform/types.hpp"
+
+namespace relock::native {
+
+class Domain;
+
+/// Per-thread execution context. Construct one on each thread that will use
+/// locks belonging to `domain`; destruction unregisters the thread.
+class Context {
+ public:
+  Context(Domain& domain, Priority priority = kDefaultPriority);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] ThreadId self() const noexcept { return id_; }
+  [[nodiscard]] Priority priority() const noexcept { return priority_; }
+  void set_priority(Priority p) noexcept { priority_ = p; }
+  [[nodiscard]] Domain& domain() noexcept { return *domain_; }
+  [[nodiscard]] Parker& parker() noexcept { return parker_; }
+
+ private:
+  Domain* domain_;
+  ThreadId id_;
+  Priority priority_;
+  Parker parker_;
+};
+
+/// Thread registry. Fixed capacity so that ThreadId -> Parker lookup is a
+/// lock-free indexed load (the release path of a blocking lock must not take
+/// an allocator or registry mutex).
+class Domain {
+ public:
+  explicit Domain(std::uint32_t max_threads = 1024)
+      : slots_(max_threads) {
+    for (auto& s : slots_) s->store(nullptr, std::memory_order_relaxed);
+  }
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Wakes the thread registered as `tid` (no-op token deposit if it is not
+  /// currently parked). Precondition: `tid` is registered.
+  void unpark(ThreadId tid) {
+    assert(tid < slots_.size());
+    Parker* p = slots_[tid]->load(std::memory_order_acquire);
+    assert(p != nullptr && "unpark of unregistered thread");
+    p->unpark();
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  [[nodiscard]] std::uint32_t registered_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return live_;
+  }
+
+ private:
+  friend class Context;
+
+  ThreadId register_thread(Parker& parker) {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Prefer never-used slots, then recycle.
+    for (ThreadId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id]->load(std::memory_order_relaxed) == nullptr) {
+        slots_[id]->store(&parker, std::memory_order_release);
+        ++live_;
+        return id;
+      }
+    }
+    assert(false && "Domain thread capacity exhausted");
+    return kInvalidThread;
+  }
+
+  void unregister_thread(ThreadId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_[id]->store(nullptr, std::memory_order_release);
+    --live_;
+  }
+
+  mutable std::mutex mu_;
+  std::uint32_t live_ = 0;
+  std::vector<CachePadded<std::atomic<Parker*>>> slots_;
+};
+
+inline Context::Context(Domain& domain, Priority priority)
+    : domain_(&domain), id_(domain.register_thread(parker_)),
+      priority_(priority) {}
+
+inline Context::~Context() { domain_->unregister_thread(id_); }
+
+/// One atomic machine word, padded to its own cache line. The (Domain,
+/// Placement) constructor shape is shared with the simulator platform so
+/// that lock algorithms can construct words generically; the native platform
+/// has no NUMA placement and ignores the hint.
+struct Word {
+  explicit Word(Domain& /*domain*/, std::uint64_t initial = 0,
+                Placement /*placement*/ = Placement::any())
+      : v(initial) {}
+  Word(const Word&) = delete;
+  Word& operator=(const Word&) = delete;
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> v;
+};
+
+/// NativePlatform: the Platform implementation for real host threads.
+/// All atomics use seq_cst-free explicit orders: acquire on reads that
+/// observe protected state, release on writes that publish it. Read-modify-
+/// writes that acquire a lock use acq_rel.
+struct NativePlatform {
+  using Context = native::Context;
+  using Word = native::Word;
+  using Domain = native::Domain;
+
+  static std::uint64_t load(Context&, const Word& w) noexcept {
+    return w.v.load(std::memory_order_acquire);
+  }
+  static std::uint64_t load_relaxed(Context&, const Word& w) noexcept {
+    return w.v.load(std::memory_order_relaxed);
+  }
+  static void store(Context&, Word& w, std::uint64_t v) noexcept {
+    w.v.store(v, std::memory_order_release);
+  }
+  static std::uint64_t fetch_or(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_or(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t fetch_and(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_and(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t fetch_add(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_add(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t exchange(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.exchange(v, std::memory_order_acq_rel);
+  }
+  /// Single-shot compare-and-swap; returns true on success. `expected` is
+  /// taken by value: callers that need the observed value reload explicitly,
+  /// which keeps the simulator's cost model honest (one access per call).
+  static bool cas(Context&, Word& w, std::uint64_t expected,
+                  std::uint64_t desired) noexcept {
+    return w.v.compare_exchange_strong(expected, desired,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
+  /// Spin-loop hint to the CPU.
+  static void pause(Context&) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  /// Busy-waits for `ns` (backoff delays).
+  static void delay(Context&, Nanos ns) noexcept { spin_for(ns); }
+
+  /// Performs `ns` worth of "useful work" (workload generators).
+  static void compute(Context&, Nanos ns) noexcept { spin_for(ns); }
+
+  /// Politely cedes the processor.
+  static void yield(Context&) noexcept { std::this_thread::yield(); }
+
+  /// Parks the calling thread until some thread calls unblock(its id).
+  static void block(Context& ctx) { ctx.parker().park(); }
+
+  /// Timed park; returns true iff woken (vs. timed out).
+  static bool block_for(Context& ctx, Nanos ns) {
+    return ctx.parker().park_for(ns);
+  }
+
+  /// Wakes thread `tid` of the same domain.
+  static void unblock(Context& ctx, ThreadId tid) { ctx.domain().unpark(tid); }
+
+  /// Monotonic nanoseconds.
+  static Nanos now(Context&) noexcept { return monotonic_now(); }
+
+  /// NUMA home node of the calling thread. The native platform does not
+  /// model placement; distributed locks fall back to Placement::any().
+  static int home_node(Context&) noexcept { return Placement::kAnyNode; }
+};
+
+}  // namespace relock::native

@@ -1,0 +1,57 @@
+// Parker: the native blocking primitive. One Parker per registered thread.
+//
+// Semantics are those of a binary semaphore with a sticky token:
+//   unpark() deposits a token (idempotent);
+//   park() consumes a token if present, otherwise blocks until one arrives;
+//   park_for(ns) additionally gives up after a timeout.
+// The token makes the unblock-before-block race benign, which is exactly
+// what lock release paths need (a releaser may select a waiter that has not
+// physically gone to sleep yet).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "relock/platform/types.hpp"
+
+namespace relock {
+
+class Parker {
+ public:
+  Parker() = default;
+  Parker(const Parker&) = delete;
+  Parker& operator=(const Parker&) = delete;
+
+  /// Blocks until a token is available, then consumes it.
+  void park() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return token_; });
+    token_ = false;
+  }
+
+  /// Blocks until a token is available or `ns` elapsed.
+  /// Returns true iff a token was consumed (i.e. we were unparked).
+  bool park_for(Nanos ns) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const bool got = cv_.wait_for(lk, std::chrono::nanoseconds(ns),
+                                  [&] { return token_; });
+    if (got) token_ = false;
+    return got;
+  }
+
+  /// Deposits a token and wakes the parked thread if any.
+  void unpark() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      token_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool token_ = false;
+};
+
+}  // namespace relock

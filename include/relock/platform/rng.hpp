@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// We deliberately avoid <random>'s engines for the hot paths: xoshiro256**
+// is faster, has a tiny state, and its output is reproducible across
+// standard-library implementations (std::mt19937 is reproducible too, but
+// the *distributions* are not; we implement our own in workload/).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace relock {
+
+/// SplitMix64: used to seed xoshiro from a single 64-bit value.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna. Public-domain algorithm.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1). 53 mantissa bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift would be
+  /// overkill here; modulo bias is negligible for bound << 2^64 but we use
+  /// the widening-multiply reduction anyway since it is also faster.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    const auto wide = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace relock

@@ -1,0 +1,60 @@
+// Symmetric coroutines for the simulator: the driver (host) context swaps
+// into simulated-thread contexts and back. On x86-64 the switch is a
+// hand-rolled callee-saved-register swap (src/sim/context_switch_x86_64.S);
+// other architectures fall back to <ucontext.h>.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "relock/sim/stack.hpp"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace relock::sim {
+
+/// A one-shot coroutine. `resume()` transfers control into the coroutine
+/// until it calls `suspend()` or its entry function returns; both transfer
+/// control back to the resumer.
+class Coroutine {
+ public:
+  /// `entry` runs on the coroutine's own stack on first resume. When it
+  /// returns, the coroutine is `finished()` and control returns to the
+  /// resumer.
+  explicit Coroutine(std::function<void()> entry,
+                     std::size_t stack_size = Stack::kDefaultSize);
+  ~Coroutine();
+  Coroutine(const Coroutine&) = delete;
+  Coroutine& operator=(const Coroutine&) = delete;
+
+  /// Transfers control into the coroutine. Must be called from outside it.
+  /// Precondition: !finished().
+  void resume();
+
+  /// Transfers control back to the last resumer. Must be called from inside
+  /// the coroutine.
+  void suspend();
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  static void entry_thunk(void* self);
+  [[noreturn]] void run_entry();
+
+  std::function<void()> entry_;
+  Stack stack_;
+  bool finished_ = false;
+  bool started_ = false;
+
+#if defined(__x86_64__)
+  void* coro_sp_ = nullptr;    ///< coroutine's saved stack pointer
+  void* caller_sp_ = nullptr;  ///< resumer's saved stack pointer
+#else
+  ucontext_t coro_ctx_{};
+  ucontext_t caller_ctx_{};
+#endif
+};
+
+}  // namespace relock::sim

@@ -1,0 +1,56 @@
+// Discrete-event queue: min-heap ordered by (time, insertion sequence).
+// The sequence tie-break makes simulation runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "relock/platform/types.hpp"
+
+namespace relock::sim {
+
+enum class EventKind : std::uint8_t {
+  kResume,       ///< continue the (still-current) thread on its processor
+  kDispatch,     ///< pick the next ready thread on processor `subject`
+  kReady,        ///< thread `subject` becomes ready (wakeup arrival)
+  kSleepExpire,  ///< timed block of thread `subject` expires (aux = gen)
+};
+
+struct Event {
+  Nanos time = 0;
+  std::uint64_t seq = 0;  ///< insertion order; total-order tie-break
+  EventKind kind = EventKind::kResume;
+  std::uint32_t subject = 0;  ///< thread id or processor id
+  std::uint64_t aux = 0;
+};
+
+class EventQueue {
+ public:
+  void push(Nanos time, EventKind kind, std::uint32_t subject,
+            std::uint64_t aux = 0) {
+    heap_.push(Event{time, next_seq_++, kind, subject, aux});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace relock::sim

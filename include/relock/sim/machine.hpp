@@ -1,0 +1,359 @@
+// The simulated NUMA multiprocessor (the paper's BBN Butterfly GP1000
+// substitute): P processor nodes, one memory module per node, a user-level
+// threads package with preemptive time-slicing, and a virtual-time
+// discrete-event core. Entirely deterministic: identical inputs produce
+// identical event traces regardless of host scheduling (the whole machine
+// runs on one host thread; simulated threads are coroutines).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "relock/platform/types.hpp"
+#include "relock/sim/coroutine.hpp"
+#include "relock/sim/event_queue.hpp"
+#include "relock/sim/machine_params.hpp"
+
+namespace relock::sim {
+
+class Machine;
+
+/// Processor index. Threads are bound to a processor for life (the paper's
+/// workload simulator "binds one or more thread to each processor").
+using ProcId = std::uint32_t;
+inline constexpr ProcId kAnyProc = 0xFFFFFFFFu;
+
+/// Handle to one simulated memory word. 0xFFFFFFFF = invalid.
+using CellId = std::uint32_t;
+inline constexpr CellId kInvalidCell = 0xFFFFFFFFu;
+
+/// Classes of memory reference for the timing model.
+enum class MemOp : std::uint8_t { kRead, kWrite, kRmw };
+
+/// A simulated thread. Also serves as SimPlatform::Context.
+class Thread {
+ public:
+  enum class State : std::uint8_t {
+    kEmbryo,    ///< spawned, first dispatch pending
+    kReady,     ///< runnable, waiting for its processor
+    kRunning,   ///< current on its processor (possibly op-in-flight)
+    kBlocked,   ///< descheduled until unblock()
+    kSleeping,  ///< descheduled until unblock() or timer
+    kFinished,
+  };
+
+  [[nodiscard]] ThreadId self() const noexcept { return id_; }
+  [[nodiscard]] Priority priority() const noexcept { return priority_; }
+  void set_priority(Priority p) noexcept { priority_ = p; }
+  [[nodiscard]] ProcId processor() const noexcept { return proc_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] Machine& machine() noexcept { return *machine_; }
+
+ private:
+  friend class Machine;
+
+  Machine* machine_ = nullptr;
+  ThreadId id_ = kInvalidThread;
+  ProcId proc_ = 0;
+  Priority priority_ = kDefaultPriority;
+  State state_ = State::kEmbryo;
+
+  bool wake_token_ = false;      ///< unblock arrived while not descheduled
+  bool woke_by_unblock_ = false; ///< outcome of the last timed block
+  std::uint64_t sleep_gen_ = 0;  ///< cancels stale sleep-expire events
+  Nanos slice_start_ = 0;        ///< for quantum accounting
+  std::vector<ThreadId> joiners_;
+  std::unique_ptr<Coroutine> coro_;
+};
+
+/// Aggregate machine statistics (virtual-time behaviour of the workload).
+struct MachineStats {
+  std::uint64_t reads_local = 0;
+  std::uint64_t reads_remote = 0;
+  std::uint64_t writes_local = 0;
+  std::uint64_t writes_remote = 0;
+  std::uint64_t rmws_local = 0;
+  std::uint64_t rmws_remote = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t yields = 0;
+
+  [[nodiscard]] std::uint64_t remote_references() const noexcept {
+    return reads_remote + writes_remote + rmws_remote;
+  }
+  [[nodiscard]] std::uint64_t total_references() const noexcept {
+    return remote_references() + reads_local + writes_local + rmws_local;
+  }
+};
+
+/// One record of the machine's event trace (see Machine::enable_trace).
+struct TraceRecord {
+  Nanos time;
+  EventKind kind;
+  std::uint32_t subject;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Thrown by run() when the event queue drains while threads are still
+/// blocked (a genuine deadlock in the simulated program).
+class SimDeadlockError : public std::runtime_error {
+ public:
+  explicit SimDeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineParams params = MachineParams::butterfly());
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ------------------------------------------------------------------
+  // Host-side API (driver).
+  // ------------------------------------------------------------------
+
+  /// Creates a thread bound to `proc` (kAnyProc = round-robin). The body
+  /// receives the thread as its platform Context. Callable from the host or
+  /// from inside a simulated thread.
+  ThreadId spawn(ProcId proc, std::function<void(Thread&)> body,
+                 Priority priority = kDefaultPriority);
+
+  /// Runs the simulation until the event queue drains or virtual time would
+  /// pass `until`. Throws SimDeadlockError if non-finished threads remain
+  /// with nothing scheduled.
+  void run(Nanos until = kForever);
+
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+  [[nodiscard]] const MachineParams& params() const noexcept { return params_; }
+  [[nodiscard]] const MachineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MachineStats{}; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return params_.processors;
+  }
+  [[nodiscard]] Thread& thread(ThreadId id) { return *threads_.at(id); }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Records every handled event (up to `cap` records) for debugging and
+  /// determinism checks. Identical programs must produce identical traces.
+  void enable_trace(std::size_t cap = 1 << 20) {
+    trace_enabled_ = true;
+    trace_cap_ = cap;
+    trace_.clear();
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const noexcept {
+    return trace_;
+  }
+  /// FNV-1a digest of the full trace (cheap equality check across runs).
+  [[nodiscard]] std::uint64_t trace_digest() const noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+      }
+    };
+    for (const TraceRecord& r : trace_) {
+      mix(r.time);
+      mix(static_cast<std::uint64_t>(r.kind) << 32 | r.subject);
+    }
+    return h;
+  }
+
+  // ------------------------------------------------------------------
+  // Memory cells (simulated words).
+  // ------------------------------------------------------------------
+
+  /// Allocates one word on `placement.node` (kAnyNode = round-robin
+  /// interleave across modules), initialized to `initial`.
+  CellId alloc_cell(std::uint64_t initial, Placement placement);
+  void free_cell(CellId cell) noexcept;
+  [[nodiscard]] std::uint32_t cell_node(CellId cell) const;
+
+  /// Total accesses served by `node`'s memory module (hot-spot analysis).
+  [[nodiscard]] std::uint64_t module_accesses(std::uint32_t node) const {
+    return modules_.at(node).accesses;
+  }
+
+  /// Peeks at a cell without advancing time (host-side inspection only).
+  [[nodiscard]] std::uint64_t peek_cell(CellId cell) const;
+
+  // ------------------------------------------------------------------
+  // Thread-side API (called from inside simulated threads; all of these
+  // advance virtual time and may context-switch).
+  // ------------------------------------------------------------------
+
+  std::uint64_t mem_read(Thread& t, CellId cell);
+  void mem_write(Thread& t, CellId cell, std::uint64_t value);
+  /// Generic atomic read-modify-write: applies `f(old) -> new`, returns old.
+  std::uint64_t mem_rmw(Thread& t, CellId cell,
+                        const std::function<std::uint64_t(std::uint64_t)>& f);
+  /// CAS needs its own entry point: a failed CAS must not write.
+  bool mem_cas(Thread& t, CellId cell, std::uint64_t expected,
+               std::uint64_t desired);
+
+  void pause(Thread& t);               ///< one spin-loop body
+  void compute(Thread& t, Nanos ns);   ///< busy "useful work"
+  void delay(Thread& t, Nanos ns);     ///< busy backoff delay
+  void yield(Thread& t);               ///< voluntary reschedule
+
+  void block(Thread& t);               ///< deschedule until unblock
+  bool block_for(Thread& t, Nanos ns); ///< ... or timeout; true = woken
+  void unblock(Thread& t, ThreadId target);
+
+  /// Blocks until thread `target` finishes.
+  void join(Thread& t, ThreadId target);
+
+ private:
+  struct Processor {
+    std::deque<ThreadId> ready;
+    ThreadId current = kInvalidThread;
+    bool dispatch_pending = false;
+  };
+
+  struct Cell {
+    std::uint64_t value = 0;
+    std::uint32_t node = 0;
+    bool in_use = false;
+  };
+
+  struct Module {
+    Nanos free_at = 0;
+    std::uint64_t accesses = 0;
+  };
+
+  // Core machinery (definitions in machine.cpp).
+  void switch_to(Thread& t);
+  void handle_event(const Event& e);
+  void dispatch(ProcId proc);
+  void make_ready(Thread& t);
+  void schedule_dispatch(ProcId proc, Nanos at);
+  void finish_thread(Thread& t);
+  /// Charges `dt` of CPU to `t`, slicing at quantum boundaries.
+  void advance(Thread& t, Nanos dt);
+  /// Suspends `t` until `when` (processor stays held by `t`).
+  void suspend_until(Thread& t, Nanos when);
+  /// Preempts `t` (requeues it and dispatches a peer).
+  void preempt(Thread& t);
+  /// Preempts `t` iff its quantum expired and a peer is ready.
+  void maybe_preempt(Thread& t);
+  /// Deschedules `t` (state must already be kBlocked/kSleeping).
+  void deschedule(Thread& t);
+  /// Wakes `target`: transitions it to ready or leaves a wake token.
+  void deliver_wake(Thread& target, bool by_unblock);
+  /// Timing for one memory access; advances t to completion.
+  void access(Thread& t, CellId cell, MemOp op);
+
+  MachineParams params_;
+  EventQueue events_;
+  Nanos now_ = 0;
+  std::vector<Processor> procs_;
+  std::vector<Module> modules_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::deque<Cell> cells_;
+  std::vector<CellId> free_cells_;
+  std::uint32_t next_node_rr_ = 0;  ///< round-robin interleave counter
+  std::uint32_t next_proc_rr_ = 0;
+  MachineStats stats_;
+  bool running_ = false;
+  std::exception_ptr pending_error_;
+
+  bool trace_enabled_ = false;
+  std::size_t trace_cap_ = 0;
+  std::vector<TraceRecord> trace_;
+};
+
+// ---------------------------------------------------------------------
+// SimPlatform: the Platform implementation backed by a Machine.
+// ---------------------------------------------------------------------
+
+/// One simulated word; satisfies the Word shape of the Platform concept.
+class SimWord {
+ public:
+  explicit SimWord(Machine& machine, std::uint64_t initial = 0,
+                   Placement placement = Placement::any())
+      : machine_(&machine), cell_(machine.alloc_cell(initial, placement)) {}
+  ~SimWord() {
+    if (cell_ != kInvalidCell) machine_->free_cell(cell_);
+  }
+  SimWord(const SimWord&) = delete;
+  SimWord& operator=(const SimWord&) = delete;
+
+  [[nodiscard]] CellId cell() const noexcept { return cell_; }
+  /// Host-side peek (no time advance); for assertions and tests.
+  [[nodiscard]] std::uint64_t peek() const { return machine_->peek_cell(cell_); }
+
+ private:
+  Machine* machine_;
+  CellId cell_;
+};
+
+struct SimPlatform {
+  using Context = Thread;
+  using Word = SimWord;
+  using Domain = Machine;
+
+  static std::uint64_t load(Context& ctx, const Word& w) {
+    return ctx.machine().mem_read(ctx, w.cell());
+  }
+  static std::uint64_t load_relaxed(Context& ctx, const Word& w) {
+    return ctx.machine().mem_read(ctx, w.cell());
+  }
+  static void store(Context& ctx, Word& w, std::uint64_t v) {
+    ctx.machine().mem_write(ctx, w.cell(), v);
+  }
+  static std::uint64_t fetch_or(Context& ctx, Word& w, std::uint64_t v) {
+    return ctx.machine().mem_rmw(ctx, w.cell(),
+                                 [v](std::uint64_t old) { return old | v; });
+  }
+  static std::uint64_t fetch_and(Context& ctx, Word& w, std::uint64_t v) {
+    return ctx.machine().mem_rmw(ctx, w.cell(),
+                                 [v](std::uint64_t old) { return old & v; });
+  }
+  static std::uint64_t fetch_add(Context& ctx, Word& w, std::uint64_t v) {
+    return ctx.machine().mem_rmw(ctx, w.cell(),
+                                 [v](std::uint64_t old) { return old + v; });
+  }
+  static std::uint64_t exchange(Context& ctx, Word& w, std::uint64_t v) {
+    return ctx.machine().mem_rmw(ctx, w.cell(),
+                                 [v](std::uint64_t) { return v; });
+  }
+  static bool cas(Context& ctx, Word& w, std::uint64_t expected,
+                  std::uint64_t desired) {
+    return ctx.machine().mem_cas(ctx, w.cell(), expected, desired);
+  }
+
+  static void pause(Context& ctx) { ctx.machine().pause(ctx); }
+  static void delay(Context& ctx, Nanos ns) { ctx.machine().delay(ctx, ns); }
+  static void compute(Context& ctx, Nanos ns) {
+    ctx.machine().compute(ctx, ns);
+  }
+  static void yield(Context& ctx) { ctx.machine().yield(ctx); }
+
+  static void block(Context& ctx) { ctx.machine().block(ctx); }
+  static bool block_for(Context& ctx, Nanos ns) {
+    return ctx.machine().block_for(ctx, ns);
+  }
+  static void unblock(Context& ctx, ThreadId tid) {
+    ctx.machine().unblock(ctx, tid);
+  }
+
+  static Nanos now(Context& ctx) { return ctx.machine().now(); }
+
+  static int home_node(Context& ctx) {
+    return static_cast<int>(ctx.processor());
+  }
+};
+
+}  // namespace relock::sim

@@ -1,0 +1,82 @@
+// Timing model of the simulated NUMA multiprocessor.
+//
+// The preset `butterfly()` is calibrated against the paper's measurements on
+// the 32-node BBN Butterfly GP1000 (16 MHz MC68020 nodes, log4 switch):
+//   - plain remote references cost ~6x local ones (switch traversal);
+//   - the `atomior` read-modify-write is a firmware-assisted operation that
+//     locks the memory module and costs ~30 us (Table 2 of the paper) -
+//     roughly 50x a local read, which is why spinning with RMWs is so
+//     punishing on this machine;
+//   - thread block / wakeup / context-switch costs are sized so that the
+//     blocking locking cycle lands near the paper's 510 us (Table 4).
+#pragma once
+
+#include <cstdint>
+
+#include "relock/platform/types.hpp"
+
+namespace relock::sim {
+
+struct MachineParams {
+  /// Number of processor nodes; one memory module per node.
+  std::uint32_t processors = 32;
+
+  // --- Memory reference latency perceived by the issuing thread (ns). ---
+  Nanos read_local = 600;
+  Nanos read_remote = 4000;
+  Nanos write_local = 3000;
+  Nanos write_remote = 5200;
+  Nanos rmw_local = 28'500;   ///< atomior & friends: firmware-assisted
+  Nanos rmw_remote = 31'600;
+
+  // --- Memory module occupancy per access (ns): the module serializes  ---
+  // --- accesses, so these create hot-spot contention under load.       ---
+  Nanos occupancy_read = 600;
+  Nanos occupancy_write = 1000;
+  Nanos occupancy_rmw = 26'000;
+
+  /// Instruction-stream overhead charged per word operation (the software
+  /// surrounding each reference on a 16 MHz 68020).
+  Nanos op_overhead = 2000;
+
+  /// Cost of one spin-loop body (test + branch) excluding the reference.
+  Nanos pause_cost = 2200;
+
+  // --- Thread management (user-level Cthreads-like package). ---
+  Nanos context_switch = 200'000;  ///< dispatching another thread
+  Nanos block_overhead = 100'000;  ///< descheduling self (enqueue + save)
+  Nanos wakeup_cost = 50'000;      ///< charged to the waking thread
+  Nanos wakeup_latency = 220'000;  ///< unblock -> wakee ready
+  Nanos yield_cost = 200'000;      ///< voluntary yield (== context switch)
+  Nanos quantum = 10'000'000;      ///< preemption slice; kForever = coop-only
+
+  /// The paper's machine.
+  static MachineParams butterfly() { return MachineParams{}; }
+
+  /// A small, fast machine for unit tests: latencies of a few ns so tests
+  /// simulate quickly, still NUMA (remote > local).
+  static MachineParams test_machine(std::uint32_t procs = 4) {
+    MachineParams p;
+    p.processors = procs;
+    p.read_local = 1;
+    p.read_remote = 4;
+    p.write_local = 1;
+    p.write_remote = 4;
+    p.rmw_local = 10;
+    p.rmw_remote = 14;
+    p.occupancy_read = 1;
+    p.occupancy_write = 1;
+    p.occupancy_rmw = 10;
+    p.op_overhead = 1;
+    p.pause_cost = 2;
+    p.context_switch = 50;
+    p.block_overhead = 30;
+    p.wakeup_cost = 20;
+    p.wakeup_latency = 40;
+    p.yield_cost = 50;
+    p.quantum = 100'000;
+    return p;
+  }
+};
+
+}  // namespace relock::sim

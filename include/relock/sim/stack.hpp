@@ -1,0 +1,35 @@
+// Coroutine stacks: mmap-backed with a PROT_NONE guard page so that a stack
+// overflow in simulated-thread code faults immediately instead of silently
+// corrupting a neighbouring stack.
+#pragma once
+
+#include <cstddef>
+
+namespace relock::sim {
+
+class Stack {
+ public:
+  /// Allocates a stack of at least `size` usable bytes (rounded up to whole
+  /// pages) plus one guard page below the stack.
+  explicit Stack(std::size_t size = kDefaultSize);
+  ~Stack();
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Highest usable address (stacks grow down). 16-byte aligned.
+  [[nodiscard]] void* top() const noexcept;
+  [[nodiscard]] std::size_t usable_size() const noexcept { return usable_; }
+
+  static constexpr std::size_t kDefaultSize = 256 * 1024;
+
+ private:
+  void release() noexcept;
+
+  void* base_ = nullptr;     ///< mmap base (guard page)
+  std::size_t mapped_ = 0;   ///< total mapped bytes incl. guard
+  std::size_t usable_ = 0;   ///< usable bytes above the guard page
+};
+
+}  // namespace relock::sim

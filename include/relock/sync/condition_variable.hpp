@@ -1,0 +1,166 @@
+// Condition variable over any platform lock (Mesa semantics). Works with
+// every lock in this library that exposes lock(ctx)/unlock(ctx), on every
+// Platform - native threads, the simulator, and vthreads.
+//
+// This is the kind of higher-level primitive the paper expects applications
+// to assemble from the configurable kernel mechanisms ("the construction of
+// new primitives on top of the existing ones").
+#pragma once
+
+#include <atomic>
+
+#include "relock/platform/platform.hpp"
+
+namespace relock {
+
+template <Platform P>
+class ConditionVariable {
+ public:
+  using Ctx = typename P::Context;
+  using Domain = typename P::Domain;
+
+  explicit ConditionVariable(Domain& domain,
+                             Placement placement = Placement::any())
+      : meta_(domain, 0, placement) {}
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  /// Atomically releases `lock` and waits for a notification, then
+  /// re-acquires `lock`. Mesa semantics: re-check your predicate.
+  template <typename L>
+  void wait(Ctx& ctx, L& lock) {
+    WaitNode node(ctx.self());
+    enqueue(ctx, node);
+    lock.unlock(ctx);
+    while (node.signaled.load(std::memory_order_acquire) == 0) {
+      P::block(ctx);
+    }
+    lock.lock(ctx);
+  }
+
+  /// Waits until `pred()` holds (predicate checked under the lock).
+  template <typename L, typename Pred>
+  void wait(Ctx& ctx, L& lock, Pred pred) {
+    while (!pred()) {
+      wait(ctx, lock);
+    }
+  }
+
+  /// Timed wait; returns false if `timeout` elapsed without a notification.
+  /// The lock is re-acquired either way.
+  template <typename L>
+  bool wait_for(Ctx& ctx, L& lock, Nanos timeout) {
+    WaitNode node(ctx.self());
+    enqueue(ctx, node);
+    lock.unlock(ctx);
+    const Nanos deadline = P::now(ctx) + timeout;
+    bool signaled = false;
+    for (;;) {
+      if (node.signaled.load(std::memory_order_acquire) != 0) {
+        signaled = true;
+        break;
+      }
+      const Nanos now = P::now(ctx);
+      if (now >= deadline) break;
+      (void)P::block_for(ctx, deadline - now);
+    }
+    if (!signaled) {
+      // Timeout: withdraw - unless a notifier picked us in the meantime
+      // (it marks `signaled` under meta before waking).
+      meta_lock(ctx);
+      if (node.signaled.load(std::memory_order_relaxed) != 0) {
+        signaled = true;
+      } else {
+        remove_locked(node);
+      }
+      meta_unlock(ctx);
+    }
+    lock.lock(ctx);
+    return signaled;
+  }
+
+  /// Wakes one waiter (FIFO).
+  void notify_one(Ctx& ctx) {
+    meta_lock(ctx);
+    WaitNode* node = head_;
+    ThreadId tid = kInvalidThread;
+    if (node != nullptr) {
+      remove_locked(*node);
+      tid = node->tid;
+      node->signaled.store(1, std::memory_order_release);
+      // After this store the node (on the waiter's stack) may vanish.
+    }
+    meta_unlock(ctx);
+    if (tid != kInvalidThread) P::unblock(ctx, tid);
+  }
+
+  /// Wakes every waiter.
+  void notify_all(Ctx& ctx) {
+    // Capture tids under meta; wake outside it.
+    ThreadId tids[kMaxBatch];
+    for (;;) {
+      std::size_t n = 0;
+      meta_lock(ctx);
+      while (head_ != nullptr && n < kMaxBatch) {
+        WaitNode* node = head_;
+        remove_locked(*node);
+        tids[n++] = node->tid;
+        node->signaled.store(1, std::memory_order_release);
+      }
+      meta_unlock(ctx);
+      for (std::size_t i = 0; i < n; ++i) P::unblock(ctx, tids[i]);
+      if (n < kMaxBatch) return;
+    }
+  }
+
+ private:
+  struct WaitNode {
+    explicit WaitNode(ThreadId t) : tid(t) {}
+    ThreadId tid;
+    std::atomic<std::uint32_t> signaled{0};
+    WaitNode* prev = nullptr;
+    WaitNode* next = nullptr;
+    bool queued = false;
+  };
+
+  static constexpr std::size_t kMaxBatch = 16;
+
+  void meta_lock(Ctx& ctx) {
+    for (;;) {
+      if (P::load_relaxed(ctx, meta_) == 0 &&
+          P::fetch_or(ctx, meta_, 1) == 0) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+  void meta_unlock(Ctx& ctx) { P::store(ctx, meta_, 0); }
+
+  void enqueue(Ctx& ctx, WaitNode& node) {
+    meta_lock(ctx);
+    node.prev = tail_;
+    node.next = nullptr;
+    node.queued = true;
+    if (tail_ != nullptr) {
+      tail_->next = &node;
+    } else {
+      head_ = &node;
+    }
+    tail_ = &node;
+    meta_unlock(ctx);
+  }
+
+  void remove_locked(WaitNode& node) {
+    if (!node.queued) return;
+    if (node.prev != nullptr) node.prev->next = node.next; else head_ = node.next;
+    if (node.next != nullptr) node.next->prev = node.prev; else tail_ = node.prev;
+    node.prev = node.next = nullptr;
+    node.queued = false;
+  }
+
+  typename P::Word meta_;
+  WaitNode* head_ = nullptr;  ///< guarded by meta
+  WaitNode* tail_ = nullptr;  ///< guarded by meta
+};
+
+}  // namespace relock

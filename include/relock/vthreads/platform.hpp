@@ -1,0 +1,104 @@
+// VthreadPlatform: the Platform implementation over the vthreads runtime.
+// Lock algorithms instantiated with it run as user-level threads; their
+// blocking operations deschedule the vthread (not the host thread), so a
+// virtual processor always keeps running other vthreads - the regime of the
+// paper's Figure 3/7 experiments.
+#pragma once
+
+#include <atomic>
+
+#include "relock/platform/cacheline.hpp"
+#include "relock/platform/clock.hpp"
+#include "relock/platform/types.hpp"
+#include "relock/vthreads/runtime.hpp"
+
+namespace relock::vthreads {
+
+/// One atomic word. Signature-compatible with the other platforms' words.
+struct Word {
+  explicit Word(Runtime& /*runtime*/, std::uint64_t initial = 0,
+                Placement /*placement*/ = Placement::any())
+      : v(initial) {}
+  Word(const Word&) = delete;
+  Word& operator=(const Word&) = delete;
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> v;
+};
+
+struct VthreadPlatform {
+  using Context = VThread;
+  using Word = vthreads::Word;
+  using Domain = Runtime;
+
+  static std::uint64_t load(Context&, const Word& w) noexcept {
+    return w.v.load(std::memory_order_acquire);
+  }
+  static std::uint64_t load_relaxed(Context&, const Word& w) noexcept {
+    return w.v.load(std::memory_order_relaxed);
+  }
+  static void store(Context&, Word& w, std::uint64_t v) noexcept {
+    w.v.store(v, std::memory_order_release);
+  }
+  static std::uint64_t fetch_or(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_or(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t fetch_and(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_and(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t fetch_add(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.fetch_add(v, std::memory_order_acq_rel);
+  }
+  static std::uint64_t exchange(Context&, Word& w, std::uint64_t v) noexcept {
+    return w.v.exchange(v, std::memory_order_acq_rel);
+  }
+  static bool cas(Context&, Word& w, std::uint64_t expected,
+                  std::uint64_t desired) noexcept {
+    return w.v.compare_exchange_strong(expected, desired,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
+  /// Spin hint. Unlike kernel threads, a spinning vthread could occupy its
+  /// virtual processor forever and livelock an oversubscribed runtime, so
+  /// after a streak of pauses we yield the vproc - the spirit of spinning
+  /// is kept (tight probing) while guaranteeing progress.
+  static void pause(Context& ctx) {
+    if (++ctx.pause_streak >= kPausesBeforeYield) {
+      ctx.pause_streak = 0;
+      ctx.runtime().yield(ctx);
+      return;
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  static void delay(Context& ctx, Nanos ns) {
+    // Long backoff delays cede the vproc; short ones busy-wait.
+    if (ns >= kYieldDelayThreshold) {
+      ctx.runtime().park_for(ctx, ns);
+    } else {
+      spin_for(ns);
+    }
+  }
+
+  static void compute(Context&, Nanos ns) { spin_for(ns); }
+
+  static void yield(Context& ctx) { ctx.runtime().yield(ctx); }
+
+  static void block(Context& ctx) { ctx.runtime().park(ctx); }
+  static bool block_for(Context& ctx, Nanos ns) {
+    return ctx.runtime().park_for(ctx, ns);
+  }
+  static void unblock(Context& ctx, ThreadId tid) {
+    ctx.runtime().unpark(tid);
+  }
+
+  static Nanos now(Context&) noexcept { return monotonic_now(); }
+  static int home_node(Context&) noexcept { return Placement::kAnyNode; }
+
+  static constexpr std::uint32_t kPausesBeforeYield = 64;
+  static constexpr Nanos kYieldDelayThreshold = 100'000;
+};
+
+}  // namespace relock::vthreads

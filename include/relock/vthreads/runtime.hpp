@@ -1,0 +1,127 @@
+// vthreads: a Cthreads-like user-level threads package (the paper's native
+// substrate [Muk91, SFG+91]). M user-level threads (coroutines) are
+// multiplexed onto N "virtual processors" (host threads). Blocking a
+// vthread is a user-level reschedule: the virtual processor immediately
+// runs another vthread - which is exactly the behaviour the paper's
+// blocking locks exploit ("threads accessing critical sections protected by
+// locks should be blocked to enable the execution of other threads
+// performing useful work").
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "relock/platform/types.hpp"
+#include "relock/sim/coroutine.hpp"
+
+namespace relock::vthreads {
+
+class Runtime;
+
+/// A user-level thread. Also serves as VthreadPlatform::Context.
+class VThread {
+ public:
+  [[nodiscard]] ThreadId self() const noexcept { return id_; }
+  [[nodiscard]] Priority priority() const noexcept { return priority_; }
+  void set_priority(Priority p) noexcept { priority_ = p; }
+  [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
+
+  /// Spin-then-yield accounting for VthreadPlatform::pause (see there).
+  std::uint32_t pause_streak = 0;
+
+ private:
+  friend class Runtime;
+
+  enum class State : std::uint8_t {
+    kRunnable, kRunning, kParked, kFinished
+  };
+  /// What the vthread asked for when it suspended; acted upon by the
+  /// worker under the runtime lock (this is what makes park/unpark
+  /// race-free: the state transition happens after the stack switch).
+  enum class Pending : std::uint8_t { kNone, kYield, kPark, kParkTimed };
+
+  Runtime* runtime_ = nullptr;
+  ThreadId id_ = kInvalidThread;
+  Priority priority_ = kDefaultPriority;
+  State state_ = State::kRunnable;
+  Pending pending_ = Pending::kNone;
+  Nanos pending_deadline_ = 0;
+  bool token_ = false;           ///< unpark arrived while not parked
+  bool woke_by_unpark_ = false;  ///< outcome of the last timed park
+  std::uint64_t park_gen_ = 0;   ///< invalidates stale timers
+  std::vector<ThreadId> joiners_;
+  std::unique_ptr<sim::Coroutine> coro_;
+};
+
+class Runtime {
+ public:
+  /// Starts `vprocs` virtual processors.
+  explicit Runtime(unsigned vprocs = 2);
+  /// Precondition: all vthreads have finished (call wait_all() first).
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Creates a vthread; it becomes runnable immediately. Callable from the
+  /// host or from inside a vthread.
+  ThreadId spawn(std::function<void(VThread&)> body,
+                 Priority priority = kDefaultPriority);
+
+  /// Host-side: blocks until every spawned vthread has finished. Rethrows
+  /// the first exception that escaped a vthread body, if any.
+  void wait_all();
+
+  // --- Called from inside vthreads. ---
+  void yield(VThread& t);
+  void park(VThread& t);
+  /// Timed park; returns true iff woken by unpark (vs. timeout).
+  bool park_for(VThread& t, Nanos ns);
+  /// Blocks until vthread `target` finishes.
+  void join(VThread& t, ThreadId target);
+
+  /// Wakes vthread `tid`. Callable from vthreads, workers, or the host.
+  void unpark(ThreadId tid);
+
+  [[nodiscard]] unsigned vproc_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] std::size_t live_threads() const;
+
+ private:
+  struct Timer {
+    Nanos deadline;
+    ThreadId tid;
+    std::uint64_t gen;
+    bool operator>(const Timer& o) const noexcept {
+      return deadline > o.deadline;
+    }
+  };
+
+  void worker_loop();
+  /// Runtime lock held. Makes `t` runnable and pokes an idle worker.
+  void make_runnable_locked(VThread& t);
+  /// Runtime lock held. Fires due timers.
+  void expire_timers_locked(Nanos now);
+  /// Runtime lock held. Post-suspension bookkeeping for `t`.
+  void handle_suspension_locked(VThread& t);
+
+  mutable std::mutex mu_;
+  std::exception_ptr pending_error_;  ///< first escaped vthread exception
+  std::condition_variable work_cv_;   ///< workers wait here
+  std::condition_variable idle_cv_;   ///< wait_all() waits here
+  std::deque<VThread*> runnable_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::size_t live_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace relock::vthreads

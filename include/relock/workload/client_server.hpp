@@ -1,0 +1,161 @@
+// Client-server workload (paper section 4.3.1, Table 7): one server thread
+// on a dedicated processor serves many clients through a shared message
+// buffer protected by the lock under test. Clients enqueue requests into
+// the buffer and then poll the buffer for their replies - so while a client
+// waits, it repeatedly acquires the buffer lock, flooding it. That polling
+// herd is exactly why the paper's FCFS lock hurts the server: every server
+// acquisition queues behind the whole herd.
+//
+// Scheduler effects reproduced here:
+//  - FCFS: the server waits its turn behind every polling client.
+//  - Priority threshold: the server (high priority) dynamically raises the
+//    lock's threshold when flooded, making clients ineligible until the
+//    backlog drains (the paper's "second implementation" of priority locks).
+//  - Handoff: clients hand the buffer lock directly to the server.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::workload {
+
+struct ClientServerConfig {
+  std::uint32_t clients = 8;
+  std::uint32_t requests_per_client = 20;
+  Nanos service_time = 30'000;   ///< server-side processing per request
+  Nanos client_think = 10'000;   ///< client delay between requests
+  Nanos buffer_op = 5'000;       ///< queue manipulation inside the CS
+  Nanos reply_check = 2'000;     ///< reply-slot inspection inside the CS
+  Nanos poll_gap = 3'000;        ///< client delay between reply polls
+  Priority server_priority = 10;
+  Priority client_priority = 0;
+  /// Threshold raised to this value when the server is flooded.
+  Priority flood_threshold = 5;
+  /// Backlog at which the server considers itself flooded.
+  std::uint32_t flood_backlog = 3;
+};
+
+struct ClientServerResult {
+  Nanos elapsed = 0;
+  std::uint64_t served = 0;
+  std::uint64_t threshold_raises = 0;
+};
+
+/// Runs the client-server experiment with the given lock configuration.
+/// `use_handoff_hints`: clients release the buffer lock directly to the
+/// server. `use_dynamic_threshold`: the server adapts the priority
+/// threshold to the backlog (requires kPriorityThreshold).
+inline ClientServerResult run_client_server(
+    sim::Machine& m, ConfigurableLock<sim::SimPlatform>& lock,
+    const ClientServerConfig& cfg, bool use_handoff_hints,
+    bool use_dynamic_threshold) {
+  using sim::Thread;
+
+  const Nanos start = m.now();
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(cfg.clients) * cfg.requests_per_client;
+
+  struct Shared {
+    std::deque<std::uint32_t> requests;   ///< client ids; guarded by `lock`
+    std::vector<std::uint8_t> replies;    ///< per-client; guarded by `lock`
+    ThreadId server_tid = kInvalidThread;
+    std::uint64_t served = 0;
+    std::uint64_t raises = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->replies.assign(cfg.clients, 0);
+
+  const std::uint32_t procs = m.node_count();
+  const auto server_proc = static_cast<sim::ProcId>(procs - 1);
+
+  // Server.
+  m.spawn(server_proc, [&m, &lock, cfg, shared, total_requests,
+                        use_dynamic_threshold](Thread& t) {
+    shared->server_tid = t.self();
+    bool raised = false;
+    while (shared->served < total_requests) {
+      lock.lock(t);
+      m.compute(t, cfg.buffer_op);
+      bool have = !shared->requests.empty();
+      std::uint32_t client = 0;
+      const std::size_t backlog = shared->requests.size();
+      if (have) {
+        client = shared->requests.front();
+        shared->requests.pop_front();
+      }
+      lock.unlock(t);
+
+      if (use_dynamic_threshold) {
+        if (!raised && backlog >= cfg.flood_backlog) {
+          lock.set_priority_threshold(t, cfg.flood_threshold);
+          raised = true;
+          ++shared->raises;
+        } else if (raised && backlog <= 1) {
+          lock.set_priority_threshold(t, kDefaultPriority);
+          raised = false;
+        }
+      }
+
+      if (have) {
+        m.compute(t, cfg.service_time);
+        lock.lock(t);
+        m.compute(t, cfg.reply_check);
+        shared->replies[client] = 1;  // post the reply into the buffer
+        lock.unlock(t);
+        ++shared->served;
+      } else {
+        sim::SimPlatform::pause(t);
+      }
+    }
+    if (use_dynamic_threshold && raised) {
+      lock.set_priority_threshold(t, kDefaultPriority);
+    }
+  }, cfg.server_priority);
+
+  // Clients.
+  for (std::uint32_t c = 0; c < cfg.clients; ++c) {
+    const auto client_proc = static_cast<sim::ProcId>(c % (procs - 1));
+    m.spawn(client_proc,
+            [&m, &lock, cfg, shared, c, use_handoff_hints](Thread& t) {
+      auto release = [&](Thread& th) {
+        if (use_handoff_hints && shared->server_tid != kInvalidThread) {
+          lock.unlock_to(th, shared->server_tid);
+        } else {
+          lock.unlock(th);
+        }
+      };
+      for (std::uint32_t r = 0; r < cfg.requests_per_client; ++r) {
+        m.compute(t, cfg.client_think);
+        lock.lock(t);
+        m.compute(t, cfg.buffer_op);
+        shared->requests.push_back(c);
+        release(t);
+
+        // Poll the shared buffer for the reply (each poll takes the lock).
+        for (;;) {
+          lock.lock(t);
+          m.compute(t, cfg.reply_check);
+          const bool got = shared->replies[c] != 0;
+          if (got) shared->replies[c] = 0;
+          release(t);
+          if (got) break;
+          m.compute(t, cfg.poll_gap);
+        }
+      }
+    }, cfg.client_priority);
+  }
+
+  m.run();
+  ClientServerResult res;
+  res.elapsed = m.now() - start;
+  res.served = shared->served;
+  res.threshold_raises = shared->raises;
+  return res;
+}
+
+}  // namespace relock::workload

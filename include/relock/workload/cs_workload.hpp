@@ -1,0 +1,133 @@
+// The paper's workload simulator (section 2): "binds one or more thread to
+// each processor which generate locking requests following a user defined
+// pattern". Closed-loop critical-section workload on the simulated machine,
+// optionally with additional "useful" compute threads per processor
+// (Figure 3), generic over the lock type under test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "relock/platform/rng.hpp"
+#include "relock/sim/machine.hpp"
+#include "relock/workload/samplers.hpp"
+
+namespace relock::workload {
+
+struct CsWorkloadConfig {
+  /// Locking threads; thread i is bound to processor i % processors.
+  std::uint32_t locking_threads = 8;
+  /// Lock/unlock cycles per locking thread.
+  std::uint32_t iterations = 100;
+  /// Think time preceding each request (arrival pattern).
+  ArrivalProcess arrival = ArrivalProcess::smooth(Sampler::constant(10'000));
+  /// Critical-section length distribution.
+  Sampler cs_length = Sampler::constant(50'000);
+  /// Extra compute-only threads bound to each locking thread's processor.
+  std::uint32_t useful_threads_per_proc = 0;
+  /// Total compute performed by each useful thread, in chunks.
+  Nanos useful_work_total = 0;
+  Nanos useful_work_chunk = 100'000;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+struct CsWorkloadResult {
+  Nanos elapsed = 0;             ///< virtual time from start to last finish
+  std::uint64_t acquisitions = 0;
+  sim::MachineStats machine;     ///< access/scheduling statistics
+};
+
+/// Runs the workload to completion. The lock is driven through lock()/
+/// unlock(); per-acquisition hooks allow advisory/handoff experiments to
+/// inject owner behaviour (default: plain compute of the CS length).
+///
+/// `L` must provide lock(Thread&)/unlock(Thread&) (bool or void returns).
+template <typename L>
+CsWorkloadResult run_cs_workload(sim::Machine& m, L& lock,
+                                 const CsWorkloadConfig& cfg) {
+  const Nanos start = m.now();
+  m.reset_stats();
+  std::uint64_t acquisitions = 0;
+
+  const std::uint32_t procs = m.node_count();
+  for (std::uint32_t i = 0; i < cfg.locking_threads; ++i) {
+    const auto proc = static_cast<sim::ProcId>(i % procs);
+    m.spawn(proc, [&m, &lock, &cfg, &acquisitions, i](sim::Thread& t) {
+      Xoshiro256 rng(cfg.seed + i);
+      ArrivalProcess arrival = cfg.arrival;  // per-thread copy (stateful)
+      for (std::uint32_t j = 0; j < cfg.iterations; ++j) {
+        m.compute(t, arrival.next(rng));
+        lock.lock(t);
+        m.compute(t, cfg.cs_length.sample(rng));
+        ++acquisitions;
+        lock.unlock(t);
+      }
+    });
+    for (std::uint32_t u = 0; u < cfg.useful_threads_per_proc; ++u) {
+      m.spawn(proc, [&m, &cfg](sim::Thread& t) {
+        Nanos remaining = cfg.useful_work_total;
+        while (remaining > 0) {
+          const Nanos chunk = std::min(remaining, cfg.useful_work_chunk);
+          m.compute(t, chunk);
+          remaining -= chunk;
+        }
+      });
+    }
+  }
+  m.run();
+
+  CsWorkloadResult r;
+  r.elapsed = m.now() - start;
+  r.acquisitions = acquisitions;
+  r.machine = m.stats();
+  return r;
+}
+
+/// Variant where the critical section body is supplied by the caller:
+/// body(thread, rng, iteration) runs while holding the lock. Used by the
+/// advisory-lock experiment, where the owner publishes advice based on the
+/// length it is about to hold the lock for.
+template <typename L, typename Body>
+CsWorkloadResult run_cs_workload_with_body(sim::Machine& m, L& lock,
+                                           const CsWorkloadConfig& cfg,
+                                           Body body) {
+  const Nanos start = m.now();
+  m.reset_stats();
+  std::uint64_t acquisitions = 0;
+
+  const std::uint32_t procs = m.node_count();
+  for (std::uint32_t i = 0; i < cfg.locking_threads; ++i) {
+    const auto proc = static_cast<sim::ProcId>(i % procs);
+    m.spawn(proc, [&m, &lock, &cfg, &acquisitions, body, i](sim::Thread& t) {
+      Xoshiro256 rng(cfg.seed + i);
+      ArrivalProcess arrival = cfg.arrival;
+      for (std::uint32_t j = 0; j < cfg.iterations; ++j) {
+        m.compute(t, arrival.next(rng));
+        lock.lock(t);
+        body(t, rng, j);
+        ++acquisitions;
+        lock.unlock(t);
+      }
+    });
+    for (std::uint32_t u = 0; u < cfg.useful_threads_per_proc; ++u) {
+      m.spawn(proc, [&m, &cfg](sim::Thread& t) {
+        Nanos remaining = cfg.useful_work_total;
+        while (remaining > 0) {
+          const Nanos chunk = std::min(remaining, cfg.useful_work_chunk);
+          m.compute(t, chunk);
+          remaining -= chunk;
+        }
+      });
+    }
+  }
+  m.run();
+
+  CsWorkloadResult r;
+  r.elapsed = m.now() - start;
+  r.acquisitions = acquisitions;
+  r.machine = m.stats();
+  return r;
+}
+
+}  // namespace relock::workload

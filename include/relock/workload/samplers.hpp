@@ -1,0 +1,124 @@
+// Value-semantic duration samplers for workload generation. Deterministic
+// given the caller's RNG; reproducible across platforms (we do not rely on
+// std::<random> distributions, whose outputs are implementation-defined).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "relock/platform/rng.hpp"
+#include "relock/platform/types.hpp"
+
+namespace relock::workload {
+
+class Sampler {
+ public:
+  enum class Kind : std::uint8_t {
+    kConstant,
+    kUniform,      ///< uniform in [a, b]
+    kExponential,  ///< mean a
+    kBimodal,      ///< a with probability p, else b (short/long CS mix)
+  };
+
+  static Sampler constant(Nanos v) { return Sampler(Kind::kConstant, v, v, 0); }
+  static Sampler uniform(Nanos lo, Nanos hi) {
+    assert(lo <= hi);
+    return Sampler(Kind::kUniform, lo, hi, 0);
+  }
+  static Sampler exponential(Nanos mean) {
+    return Sampler(Kind::kExponential, mean, 0, 0);
+  }
+  static Sampler bimodal(Nanos short_v, Nanos long_v, double p_short) {
+    return Sampler(Kind::kBimodal, short_v, long_v, p_short);
+  }
+
+  [[nodiscard]] Nanos sample(Xoshiro256& rng) const {
+    switch (kind_) {
+      case Kind::kConstant:
+        return a_;
+      case Kind::kUniform:
+        return rng.next_in(a_, b_);
+      case Kind::kExponential: {
+        // Inverse-CDF; clamp the tail to 20x the mean to keep simulated
+        // runs bounded.
+        const double u = rng.next_double();
+        const double v = -static_cast<double>(a_) * std::log1p(-u);
+        const double cap = 20.0 * static_cast<double>(a_);
+        return static_cast<Nanos>(v < cap ? v : cap);
+      }
+      case Kind::kBimodal:
+        return rng.next_double() < p_ ? a_ : b_;
+    }
+    return a_;
+  }
+
+  [[nodiscard]] double mean() const {
+    switch (kind_) {
+      case Kind::kConstant:
+      case Kind::kExponential:
+        return static_cast<double>(a_);
+      case Kind::kUniform:
+        return (static_cast<double>(a_) + static_cast<double>(b_)) / 2.0;
+      case Kind::kBimodal:
+        return p_ * static_cast<double>(a_) +
+               (1.0 - p_) * static_cast<double>(b_);
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Sampler(Kind k, Nanos a, Nanos b, double p) : kind_(k), a_(a), b_(b), p_(p) {}
+
+  Kind kind_;
+  Nanos a_;
+  Nanos b_;
+  double p_;
+};
+
+/// Stateful arrival process: yields the think time preceding each lock
+/// request. Uniformly distributed arrivals and the paper's "bursty" pattern
+/// (Figures 1 and 2).
+class ArrivalProcess {
+ public:
+  enum class Kind : std::uint8_t {
+    kSmooth,  ///< i.i.d. think times from a sampler
+    kBursty,  ///< bursts of back-to-back requests separated by long gaps
+  };
+
+  static ArrivalProcess smooth(Sampler think) {
+    return ArrivalProcess(Kind::kSmooth, think, 0, 0, 0);
+  }
+  /// `burst_size` requests separated by `intra_gap`, then one `inter_gap`.
+  static ArrivalProcess bursty(std::uint32_t burst_size, Nanos intra_gap,
+                               Nanos inter_gap) {
+    assert(burst_size > 0);
+    return ArrivalProcess(Kind::kBursty, Sampler::constant(0), burst_size,
+                          intra_gap, inter_gap);
+  }
+
+  [[nodiscard]] Nanos next(Xoshiro256& rng) {
+    if (kind_ == Kind::kSmooth) return think_.sample(rng);
+    if (++position_ % burst_size_ == 0) return inter_gap_;
+    return intra_gap_;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  ArrivalProcess(Kind k, Sampler think, std::uint32_t burst, Nanos intra,
+                 Nanos inter)
+      : kind_(k), think_(think), burst_size_(burst), intra_gap_(intra),
+        inter_gap_(inter) {}
+
+  Kind kind_;
+  Sampler think_;
+  std::uint32_t burst_size_ = 1;
+  Nanos intra_gap_ = 0;
+  Nanos inter_gap_ = 0;
+  std::uint64_t position_ = 0;
+};
+
+}  // namespace relock::workload

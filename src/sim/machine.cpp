@@ -1,0 +1,427 @@
+#include "relock/sim/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+namespace relock::sim {
+
+Machine::Machine(MachineParams params)
+    : params_(params), procs_(params.processors), modules_(params.processors) {
+  assert(params_.processors > 0);
+}
+
+Machine::~Machine() = default;
+
+// ---------------------------------------------------------------------
+// Spawning and the driver loop.
+// ---------------------------------------------------------------------
+
+ThreadId Machine::spawn(ProcId proc, std::function<void(Thread&)> body,
+                        Priority priority) {
+  if (proc == kAnyProc) {
+    proc = next_proc_rr_++ % params_.processors;
+  }
+  assert(proc < params_.processors);
+
+  auto owned = std::make_unique<Thread>();
+  Thread* t = owned.get();
+  t->machine_ = this;
+  t->id_ = static_cast<ThreadId>(threads_.size());
+  t->proc_ = proc;
+  t->priority_ = priority;
+  t->state_ = Thread::State::kEmbryo;
+  t->coro_ = std::make_unique<Coroutine>(
+      [this, t, fn = std::move(body)]() {
+        try {
+          fn(*t);
+        } catch (...) {
+          pending_error_ = std::current_exception();
+        }
+      });
+  threads_.push_back(std::move(owned));
+  events_.push(now_, EventKind::kReady, t->id_);
+  return t->id_;
+}
+
+void Machine::run(Nanos until) {
+  assert(!running_ && "Machine::run is not reentrant");
+  running_ = true;
+  while (!events_.empty()) {
+    Event e = events_.pop();
+    if (e.time > until) {
+      // Out of budget: put the event back and stop; run() may be resumed.
+      events_.push(e.time, e.kind, e.subject, e.aux);
+      running_ = false;
+      return;
+    }
+    assert(e.time >= now_ && "event queue went backwards");
+    now_ = e.time;
+    handle_event(e);
+    if (pending_error_) {
+      running_ = false;
+      std::exception_ptr err = std::exchange(pending_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+  running_ = false;
+
+  // Queue drained: everything should have finished, otherwise the simulated
+  // program deadlocked (threads blocked with no wakeup in flight).
+  std::ostringstream stuck;
+  bool deadlock = false;
+  for (const auto& t : threads_) {
+    if (t->state_ != Thread::State::kFinished) {
+      deadlock = true;
+      stuck << " thread " << t->id_ << " on proc " << t->proc_ << " state "
+            << static_cast<int>(t->state_) << ";";
+    }
+  }
+  if (deadlock) {
+    throw SimDeadlockError("simulated deadlock at t=" + std::to_string(now_) +
+                           ":" + stuck.str());
+  }
+}
+
+void Machine::handle_event(const Event& e) {
+  if (trace_enabled_ && trace_.size() < trace_cap_) {
+    trace_.push_back(TraceRecord{e.time, e.kind, e.subject});
+  }
+  switch (e.kind) {
+    case EventKind::kResume: {
+      Thread& t = *threads_[e.subject];
+      assert(procs_[t.proc_].current == t.id_);
+      switch_to(t);
+      break;
+    }
+    case EventKind::kDispatch:
+      procs_[e.subject].dispatch_pending = false;
+      dispatch(e.subject);
+      break;
+    case EventKind::kReady: {
+      Thread& t = *threads_[e.subject];
+      make_ready(t);
+      break;
+    }
+    case EventKind::kSleepExpire: {
+      Thread& t = *threads_[e.subject];
+      if (t.state_ == Thread::State::kSleeping && t.sleep_gen_ == e.aux) {
+        t.woke_by_unblock_ = false;
+        make_ready(t);
+      }
+      break;
+    }
+  }
+}
+
+void Machine::switch_to(Thread& t) {
+  t.coro_->resume();
+  if (t.coro_->finished()) {
+    finish_thread(t);
+  }
+}
+
+void Machine::dispatch(ProcId proc) {
+  Processor& p = procs_[proc];
+  if (p.current != kInvalidThread) return;  // someone already running
+  if (p.ready.empty()) return;              // idle until next kReady
+  const ThreadId tid = p.ready.front();
+  p.ready.pop_front();
+  Thread& t = *threads_[tid];
+  p.current = tid;
+  t.state_ = Thread::State::kRunning;
+  t.slice_start_ = now_;
+  ++stats_.context_switches;
+  switch_to(t);
+}
+
+void Machine::make_ready(Thread& t) {
+  t.state_ = Thread::State::kReady;
+  Processor& p = procs_[t.proc_];
+  p.ready.push_back(t.id_);
+  if (p.current == kInvalidThread) {
+    schedule_dispatch(t.proc_, now_ + params_.context_switch);
+  }
+}
+
+void Machine::schedule_dispatch(ProcId proc, Nanos at) {
+  Processor& p = procs_[proc];
+  if (p.dispatch_pending) return;
+  p.dispatch_pending = true;
+  events_.push(at, EventKind::kDispatch, proc);
+}
+
+void Machine::finish_thread(Thread& t) {
+  t.state_ = Thread::State::kFinished;
+  Processor& p = procs_[t.proc_];
+  assert(p.current == t.id_);
+  p.current = kInvalidThread;
+  for (const ThreadId joiner : t.joiners_) {
+    deliver_wake(*threads_[joiner], /*by_unblock=*/true);
+  }
+  t.joiners_.clear();
+  schedule_dispatch(t.proc_, now_ + params_.context_switch);
+}
+
+// ---------------------------------------------------------------------
+// Time accounting inside a running thread.
+// ---------------------------------------------------------------------
+
+void Machine::suspend_until(Thread& t, Nanos when) {
+  events_.push(when, EventKind::kResume, t.id_);
+  t.coro_->suspend();
+}
+
+void Machine::advance(Thread& t, Nanos dt) {
+  for (;;) {
+    Processor& p = procs_[t.proc_];
+    Nanos chunk = dt;
+    bool will_preempt = false;
+    if (params_.quantum != kForever && !p.ready.empty()) {
+      const Nanos used = now_ - t.slice_start_;
+      const Nanos left = used >= params_.quantum ? 0 : params_.quantum - used;
+      if (left <= dt) {
+        chunk = left;
+        will_preempt = true;
+      }
+    }
+    if (chunk > 0) suspend_until(t, now_ + chunk);
+    dt -= chunk;
+    if (will_preempt) preempt(t);
+    if (dt == 0) return;
+  }
+}
+
+void Machine::preempt(Thread& t) {
+  ++stats_.preemptions;
+  Processor& p = procs_[t.proc_];
+  assert(p.current == t.id_);
+  p.current = kInvalidThread;
+  p.ready.push_back(t.id_);
+  t.state_ = Thread::State::kReady;
+  schedule_dispatch(t.proc_, now_ + params_.context_switch);
+  t.coro_->suspend();
+  // Resumed: dispatch() has already made us kRunning with a fresh slice.
+}
+
+void Machine::maybe_preempt(Thread& t) {
+  Processor& p = procs_[t.proc_];
+  if (params_.quantum != kForever && !p.ready.empty() &&
+      now_ - t.slice_start_ >= params_.quantum) {
+    preempt(t);
+  }
+}
+
+void Machine::deschedule(Thread& t) {
+  Processor& p = procs_[t.proc_];
+  assert(p.current == t.id_);
+  p.current = kInvalidThread;
+  schedule_dispatch(t.proc_, now_ + params_.context_switch);
+  t.coro_->suspend();
+}
+
+// ---------------------------------------------------------------------
+// Memory.
+// ---------------------------------------------------------------------
+
+CellId Machine::alloc_cell(std::uint64_t initial, Placement placement) {
+  std::uint32_t node;
+  if (placement.node >= 0) {
+    assert(static_cast<std::uint32_t>(placement.node) < params_.processors);
+    node = static_cast<std::uint32_t>(placement.node);
+  } else {
+    node = next_node_rr_++ % params_.processors;
+  }
+  CellId id;
+  if (!free_cells_.empty()) {
+    id = free_cells_.back();
+    free_cells_.pop_back();
+  } else {
+    id = static_cast<CellId>(cells_.size());
+    cells_.emplace_back();
+  }
+  cells_[id] = Cell{initial, node, /*in_use=*/true};
+  return id;
+}
+
+void Machine::free_cell(CellId cell) noexcept {
+  assert(cell < cells_.size() && cells_[cell].in_use);
+  cells_[cell].in_use = false;
+  free_cells_.push_back(cell);
+}
+
+std::uint32_t Machine::cell_node(CellId cell) const {
+  return cells_.at(cell).node;
+}
+
+std::uint64_t Machine::peek_cell(CellId cell) const {
+  return cells_.at(cell).value;
+}
+
+void Machine::access(Thread& t, CellId cell, MemOp op) {
+  Cell& c = cells_[cell];
+  Module& m = modules_[c.node];
+  const bool local = c.node == t.proc_;
+
+  Nanos latency = 0;
+  Nanos occupancy = 0;
+  switch (op) {
+    case MemOp::kRead:
+      latency = local ? params_.read_local : params_.read_remote;
+      occupancy = params_.occupancy_read;
+      if (local) ++stats_.reads_local; else ++stats_.reads_remote;
+      break;
+    case MemOp::kWrite:
+      latency = local ? params_.write_local : params_.write_remote;
+      occupancy = params_.occupancy_write;
+      if (local) ++stats_.writes_local; else ++stats_.writes_remote;
+      break;
+    case MemOp::kRmw:
+      latency = local ? params_.rmw_local : params_.rmw_remote;
+      occupancy = params_.occupancy_rmw;
+      if (local) ++stats_.rmws_local; else ++stats_.rmws_remote;
+      break;
+  }
+
+  // The module is a FIFO server: the access begins when the module is free
+  // and holds it for `occupancy` (hot-spot contention under load).
+  const Nanos start = std::max(now_, m.free_at);
+  m.free_at = start + occupancy;
+  ++m.accesses;
+
+  const Nanos done = start + latency + params_.op_overhead;
+  suspend_until(t, done);
+  maybe_preempt(t);
+}
+
+std::uint64_t Machine::mem_read(Thread& t, CellId cell) {
+  // Value semantics: reads/writes take effect in issue order, which equals
+  // module serialization order because the module is FIFO.
+  const std::uint64_t v = cells_[cell].value;
+  access(t, cell, MemOp::kRead);
+  return v;
+}
+
+void Machine::mem_write(Thread& t, CellId cell, std::uint64_t value) {
+  cells_[cell].value = value;
+  access(t, cell, MemOp::kWrite);
+}
+
+std::uint64_t Machine::mem_rmw(
+    Thread& t, CellId cell,
+    const std::function<std::uint64_t(std::uint64_t)>& f) {
+  const std::uint64_t old = cells_[cell].value;
+  cells_[cell].value = f(old);
+  access(t, cell, MemOp::kRmw);
+  return old;
+}
+
+bool Machine::mem_cas(Thread& t, CellId cell, std::uint64_t expected,
+                      std::uint64_t desired) {
+  const bool ok = cells_[cell].value == expected;
+  if (ok) cells_[cell].value = desired;
+  // A failed CAS still performs the locked module transaction.
+  access(t, cell, MemOp::kRmw);
+  return ok;
+}
+
+// ---------------------------------------------------------------------
+// Delay / progress primitives.
+// ---------------------------------------------------------------------
+
+void Machine::pause(Thread& t) { advance(t, params_.pause_cost); }
+
+void Machine::compute(Thread& t, Nanos ns) {
+  if (ns > 0) advance(t, ns);
+}
+
+void Machine::delay(Thread& t, Nanos ns) {
+  if (ns > 0) advance(t, ns);
+}
+
+void Machine::yield(Thread& t) {
+  ++stats_.yields;
+  Processor& p = procs_[t.proc_];
+  if (p.ready.empty()) {
+    advance(t, params_.op_overhead);  // nothing to yield to
+    return;
+  }
+  assert(p.current == t.id_);
+  p.current = kInvalidThread;
+  p.ready.push_back(t.id_);
+  t.state_ = Thread::State::kReady;
+  schedule_dispatch(t.proc_, now_ + params_.yield_cost);
+  t.coro_->suspend();
+}
+
+// ---------------------------------------------------------------------
+// Blocking.
+// ---------------------------------------------------------------------
+
+void Machine::block(Thread& t) {
+  if (t.wake_token_) {  // fast path: wake already delivered
+    t.wake_token_ = false;
+    advance(t, params_.op_overhead);
+    return;
+  }
+  advance(t, params_.block_overhead);
+  if (t.wake_token_) {  // wake raced in while we were descheduling
+    t.wake_token_ = false;
+    return;
+  }
+  ++stats_.blocks;
+  t.state_ = Thread::State::kBlocked;
+  deschedule(t);
+}
+
+bool Machine::block_for(Thread& t, Nanos ns) {
+  if (t.wake_token_) {
+    t.wake_token_ = false;
+    advance(t, params_.op_overhead);
+    return true;
+  }
+  advance(t, params_.block_overhead);
+  if (t.wake_token_) {
+    t.wake_token_ = false;
+    return true;
+  }
+  ++stats_.blocks;
+  t.state_ = Thread::State::kSleeping;
+  const std::uint64_t gen = ++t.sleep_gen_;
+  events_.push(now_ + ns, EventKind::kSleepExpire, t.id_, gen);
+  deschedule(t);
+  return t.woke_by_unblock_;
+}
+
+void Machine::deliver_wake(Thread& target, bool by_unblock) {
+  if (target.state_ == Thread::State::kBlocked ||
+      target.state_ == Thread::State::kSleeping) {
+    ++target.sleep_gen_;  // cancel any pending sleep expiry
+    target.woke_by_unblock_ = by_unblock;
+    // In transit: the kReady event performs the actual enqueue.
+    events_.push(now_ + params_.wakeup_latency, EventKind::kReady,
+                 target.id_);
+    target.state_ = Thread::State::kReady;
+  } else if (target.state_ != Thread::State::kFinished) {
+    target.wake_token_ = true;
+  }
+}
+
+void Machine::unblock(Thread& t, ThreadId target) {
+  advance(t, params_.wakeup_cost);
+  ++stats_.wakeups;
+  deliver_wake(*threads_.at(target), /*by_unblock=*/true);
+}
+
+void Machine::join(Thread& t, ThreadId target) {
+  Thread& other = *threads_.at(target);
+  if (other.state_ == Thread::State::kFinished) return;
+  other.joiners_.push_back(t.id_);
+  while (other.state_ != Thread::State::kFinished) {
+    block(t);
+  }
+}
+
+}  // namespace relock::sim

@@ -1,0 +1,64 @@
+#include "relock/sim/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace relock::sim {
+
+namespace {
+std::size_t page_size() {
+  static const auto ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+}  // namespace
+
+Stack::Stack(std::size_t size) {
+  const std::size_t ps = page_size();
+  usable_ = ((size + ps - 1) / ps) * ps;
+  mapped_ = usable_ + ps;  // one guard page at the low end
+  void* mem = ::mmap(nullptr, mapped_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (mem == MAP_FAILED) throw std::bad_alloc();
+  if (::mprotect(mem, ps, PROT_NONE) != 0) {
+    ::munmap(mem, mapped_);
+    throw std::runtime_error("Stack: mprotect guard page failed");
+  }
+  base_ = mem;
+}
+
+Stack::~Stack() { release(); }
+
+Stack::Stack(Stack&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      mapped_(std::exchange(other.mapped_, 0)),
+      usable_(std::exchange(other.usable_, 0)) {}
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_ = std::exchange(other.mapped_, 0);
+    usable_ = std::exchange(other.usable_, 0);
+  }
+  return *this;
+}
+
+void Stack::release() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_);
+    base_ = nullptr;
+  }
+}
+
+void* Stack::top() const noexcept {
+  auto addr = reinterpret_cast<std::uintptr_t>(base_) + mapped_;
+  addr &= ~static_cast<std::uintptr_t>(15);  // 16-byte align
+  return reinterpret_cast<void*>(addr);
+}
+
+}  // namespace relock::sim

@@ -1,0 +1,211 @@
+#include "relock/vthreads/runtime.hpp"
+
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "relock/platform/clock.hpp"
+
+namespace relock::vthreads {
+
+Runtime::Runtime(unsigned vprocs) {
+  assert(vprocs > 0);
+  workers_.reserve(vprocs);
+  for (unsigned i = 0; i < vprocs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(live_ == 0 && "destroying Runtime with live vthreads");
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadId Runtime::spawn(std::function<void(VThread&)> body,
+                        Priority priority) {
+  auto owned = std::make_unique<VThread>();
+  VThread* t = owned.get();
+  t->runtime_ = this;
+  t->priority_ = priority;
+  t->coro_ = std::make_unique<sim::Coroutine>([this, t,
+                                               fn = std::move(body)] {
+    try {
+      fn(*t);
+    } catch (...) {
+      // Unwinding across the coroutine boundary would terminate; capture
+      // the error and surface it from wait_all().
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    t->id_ = static_cast<ThreadId>(threads_.size());
+    threads_.push_back(std::move(owned));
+    ++live_;
+    make_runnable_locked(*t);
+  }
+  work_cv_.notify_one();
+  return t->id_;
+}
+
+void Runtime::wait_all() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return live_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr err = std::exchange(pending_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t Runtime::live_threads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_;
+}
+
+void Runtime::yield(VThread& t) {
+  t.pending_ = VThread::Pending::kYield;
+  t.coro_->suspend();
+}
+
+void Runtime::park(VThread& t) {
+  t.pending_ = VThread::Pending::kPark;
+  t.coro_->suspend();
+}
+
+bool Runtime::park_for(VThread& t, Nanos ns) {
+  t.pending_ = VThread::Pending::kParkTimed;
+  t.pending_deadline_ = monotonic_now() + ns;
+  t.coro_->suspend();
+  return t.woke_by_unpark_;
+}
+
+void Runtime::join(VThread& t, ThreadId target) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VThread& other = *threads_.at(target);
+    if (other.state_ == VThread::State::kFinished) return;
+    other.joiners_.push_back(t.self());
+  }
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (threads_[target]->state_ == VThread::State::kFinished) return;
+    }
+    park(t);
+  }
+}
+
+void Runtime::unpark(ThreadId tid) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VThread& t = *threads_.at(tid);
+    if (t.state_ == VThread::State::kFinished) return;
+    if (t.state_ == VThread::State::kParked) {
+      ++t.park_gen_;  // cancel any pending timer
+      t.woke_by_unpark_ = true;
+      make_runnable_locked(t);
+      notify = true;
+    } else {
+      t.token_ = true;  // consumed by the next park
+    }
+  }
+  if (notify) work_cv_.notify_one();
+}
+
+void Runtime::make_runnable_locked(VThread& t) {
+  t.state_ = VThread::State::kRunnable;
+  runnable_.push_back(&t);
+}
+
+void Runtime::expire_timers_locked(Nanos now) {
+  while (!timers_.empty() && timers_.top().deadline <= now) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    VThread& t = *threads_[timer.tid];
+    if (t.state_ == VThread::State::kParked && t.park_gen_ == timer.gen) {
+      t.woke_by_unpark_ = false;
+      make_runnable_locked(t);
+    }
+  }
+}
+
+void Runtime::handle_suspension_locked(VThread& t) {
+  if (t.coro_->finished()) {
+    t.state_ = VThread::State::kFinished;
+    ++t.park_gen_;
+    for (const ThreadId joiner : t.joiners_) {
+      VThread& j = *threads_[joiner];
+      if (j.state_ == VThread::State::kParked) {
+        ++j.park_gen_;
+        j.woke_by_unpark_ = true;
+        make_runnable_locked(j);
+      } else {
+        j.token_ = true;
+      }
+    }
+    t.joiners_.clear();
+    --live_;
+    if (live_ == 0) idle_cv_.notify_all();
+    return;
+  }
+  switch (t.pending_) {
+    case VThread::Pending::kYield:
+      make_runnable_locked(t);
+      break;
+    case VThread::Pending::kPark:
+    case VThread::Pending::kParkTimed: {
+      if (t.token_) {  // wakeup arrived before we finished descheduling
+        t.token_ = false;
+        t.woke_by_unpark_ = true;
+        make_runnable_locked(t);
+        break;
+      }
+      t.state_ = VThread::State::kParked;
+      if (t.pending_ == VThread::Pending::kParkTimed) {
+        timers_.push(Timer{t.pending_deadline_, t.id_, ++t.park_gen_});
+      }
+      break;
+    }
+    case VThread::Pending::kNone:
+      assert(false && "vthread suspended without a pending operation");
+      break;
+  }
+  t.pending_ = VThread::Pending::kNone;
+}
+
+void Runtime::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    expire_timers_locked(monotonic_now());
+    if (stop_) return;
+    if (runnable_.empty()) {
+      if (timers_.empty()) {
+        work_cv_.wait(lk);
+      } else {
+        const Nanos deadline = timers_.top().deadline;
+        work_cv_.wait_for(
+            lk, std::chrono::nanoseconds(
+                    deadline > monotonic_now() ? deadline - monotonic_now()
+                                               : 1));
+      }
+      continue;
+    }
+    VThread* t = runnable_.front();
+    runnable_.pop_front();
+    t->state_ = VThread::State::kRunning;
+    lk.unlock();
+    t->coro_->resume();
+    lk.lock();
+    handle_suspension_locked(*t);
+  }
+}
+
+}  // namespace relock::vthreads

@@ -1,0 +1,197 @@
+// Adaptation module: policy decision logic and the full monitor ->
+// policy -> possess/configure feedback loop on the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "relock/adapt/adaptor.hpp"
+#include "relock/adapt/policies.hpp"
+#include "relock/platform/rng.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::adapt {
+namespace {
+
+using sim::Machine;
+using sim::MachineParams;
+using sim::ProcId;
+using sim::SimPlatform;
+using sim::Thread;
+
+StatsDelta delta_with(std::uint64_t acq, double hold_ns,
+                      std::uint64_t contended = 0) {
+  StatsDelta d;
+  d.acquisitions = acq;
+  d.contended = contended;
+  d.mean_hold_ns = hold_ns;
+  return d;
+}
+
+// ----------------------------------------------------------- Policies ----
+
+TEST(SpinBlockHysteresis, SwitchesToBlockingOnLongHolds) {
+  SpinBlockHysteresisPolicy p;
+  const auto action = p.evaluate(delta_with(100, 1'000'000.0));
+  ASSERT_TRUE(action.has_value());
+  const auto* w = std::get_if<SetWaitingPolicy>(&*action);
+  ASSERT_NE(w, nullptr);
+  EXPECT_GT(w->attributes.sleep_ns, 0u);
+  EXPECT_TRUE(p.blocking());
+}
+
+TEST(SpinBlockHysteresis, SwitchesBackToSpinOnShortHolds) {
+  SpinBlockHysteresisPolicy p;
+  ASSERT_TRUE(p.evaluate(delta_with(100, 1'000'000.0)).has_value());
+  const auto action = p.evaluate(delta_with(100, 50'000.0));
+  ASSERT_TRUE(action.has_value());
+  const auto* w = std::get_if<SetWaitingPolicy>(&*action);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->attributes.sleep_ns, 0u);
+  EXPECT_FALSE(p.blocking());
+}
+
+TEST(SpinBlockHysteresis, HysteresisBandPreventsOscillation) {
+  SpinBlockHysteresisPolicy p(
+      SpinBlockHysteresisPolicy::Params{500'000.0, 150'000.0, 1, 10});
+  ASSERT_TRUE(p.evaluate(delta_with(10, 600'000.0)).has_value());
+  // In-band values (between 150us and 500us) must not flip the policy.
+  EXPECT_FALSE(p.evaluate(delta_with(10, 300'000.0)).has_value());
+  EXPECT_FALSE(p.evaluate(delta_with(10, 450'000.0)).has_value());
+  EXPECT_TRUE(p.blocking());
+}
+
+TEST(SpinBlockHysteresis, NoiseGateIgnoresSparseIntervals) {
+  SpinBlockHysteresisPolicy p;  // min_samples = 8
+  EXPECT_FALSE(p.evaluate(delta_with(3, 5'000'000.0)).has_value());
+}
+
+TEST(ContentionScheduler, AdoptsQueueUnderContention) {
+  ContentionSchedulerPolicy p;
+  StatsDelta d = delta_with(100, 0.0, 80);
+  const auto action = p.evaluate(d);
+  ASSERT_TRUE(action.has_value());
+  const auto* s = std::get_if<SetScheduler>(&*action);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, SchedulerKind::kFcfs);
+  EXPECT_TRUE(p.queued());
+}
+
+TEST(ContentionScheduler, RevertsWhenContentionSubsides) {
+  ContentionSchedulerPolicy p;
+  ASSERT_TRUE(p.evaluate(delta_with(100, 0.0, 80)).has_value());
+  const auto action = p.evaluate(delta_with(100, 0.0, 2));
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(std::get<SetScheduler>(*action).kind, SchedulerKind::kNone);
+}
+
+TEST(PhaseDetector, DetectsAbruptHoldTimeChange) {
+  PhaseDetector pd;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(pd.observe(100'000.0));
+  EXPECT_TRUE(pd.observe(1'000'000.0));  // 10x jump: new phase
+  EXPECT_EQ(pd.phases_detected(), 1u);
+}
+
+TEST(PhaseDetector, StableWorkloadDetectsNothing) {
+  PhaseDetector pd;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double jitter = 0.9 + 0.2 * rng.next_double();
+    EXPECT_FALSE(pd.observe(200'000.0 * jitter));
+  }
+  EXPECT_EQ(pd.phases_detected(), 0u);
+}
+
+TEST(DeltaBetween, ComputesInterval) {
+  LockStats a, b;
+  a.acquisitions = 10;
+  a.contended_acquisitions = 2;
+  a.releases = 10;
+  a.total_hold_ns = 1000;
+  b.acquisitions = 30;
+  b.contended_acquisitions = 12;
+  b.releases = 30;
+  b.total_hold_ns = 5000;
+  const StatsDelta d = delta_between(a, b);
+  EXPECT_EQ(d.acquisitions, 20u);
+  EXPECT_EQ(d.contended, 10u);
+  EXPECT_DOUBLE_EQ(d.mean_hold_ns, 200.0);
+  EXPECT_DOUBLE_EQ(d.contention_ratio(), 0.5);
+}
+
+// --------------------------------------------------- Full feedback loop ---
+
+TEST(Adaptor, AdaptsSpinLockToBlockingOnLongCsPhase) {
+  Machine m(MachineParams::test_machine(4));
+  ConfigurableLock<SimPlatform>::Options opts;
+  opts.scheduler = SchedulerKind::kFcfs;
+  opts.attributes = LockAttributes::spin();
+  opts.placement = Placement::on(0);
+  opts.monitor_enabled = true;
+  ConfigurableLock<SimPlatform> lock(m, opts);
+
+  Adaptor<SimPlatform> adaptor(
+      lock, std::make_unique<SpinBlockHysteresisPolicy>(
+                SpinBlockHysteresisPolicy::Params{50'000.0, 10'000.0, 4, 5}));
+
+  // Workers hold the lock for long critical sections.
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(static_cast<ProcId>(i), [&](Thread& t) {
+      for (int j = 0; j < 20; ++j) {
+        ASSERT_TRUE(lock.lock(t));
+        m.compute(t, 100'000);  // well above block_above
+        lock.unlock(t);
+        m.compute(t, 5000);
+      }
+    });
+  }
+  // The external monitoring agent periodically evaluates.
+  bool adapted = false;
+  m.spawn(2, [&](Thread& t) {
+    // The interval must span enough acquisitions (~105us each) to pass the
+    // policy's noise gate of 4 samples.
+    for (int k = 0; k < 8 && !adapted; ++k) {
+      m.compute(t, 600'000);
+      adapted |= adaptor.step(t);
+    }
+  });
+  m.run();
+  EXPECT_TRUE(adapted);
+  EXPECT_GT(lock.attributes().sleep_ns, 0u)
+      << "lock should have been reconfigured to a sleeping policy";
+  EXPECT_GE(lock.monitor().snapshot().reconfigurations, 1u);
+  EXPECT_EQ(adaptor.actions_applied(), 1u);
+}
+
+TEST(Adaptor, SchedulerPolicyInstallsQueueUnderContention) {
+  Machine m(MachineParams::test_machine(6));
+  ConfigurableLock<SimPlatform>::Options opts;
+  opts.scheduler = SchedulerKind::kNone;  // centralized barging
+  opts.placement = Placement::on(0);
+  opts.monitor_enabled = true;
+  ConfigurableLock<SimPlatform> lock(m, opts);
+
+  Adaptor<SimPlatform> adaptor(
+      lock, std::make_unique<ContentionSchedulerPolicy>(
+                ContentionSchedulerPolicy::Params{0.3, 0.01, 4}));
+
+  for (int i = 0; i < 5; ++i) {
+    m.spawn(static_cast<ProcId>(i), [&](Thread& t) {
+      for (int j = 0; j < 25; ++j) {
+        ASSERT_TRUE(lock.lock(t));
+        m.compute(t, 20'000);
+        lock.unlock(t);
+      }
+    });
+  }
+  m.spawn(5, [&](Thread& t) {
+    for (int k = 0; k < 40; ++k) {
+      m.compute(t, 100'000);
+      adaptor.step(t);
+    }
+  });
+  m.run();
+  EXPECT_EQ(lock.scheduler_kind(), SchedulerKind::kFcfs);
+}
+
+}  // namespace
+}  // namespace relock::adapt

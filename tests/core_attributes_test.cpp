@@ -1,0 +1,100 @@
+// Table 1 of the paper: parameter values -> resulting lock kind.
+// Parameterized property sweep over the attribute space.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "relock/core/attributes.hpp"
+
+namespace relock {
+namespace {
+
+TEST(Attributes, NamedConfigurationsMatchTable1) {
+  // | spin-time | delay-time | sleep-time | timeout | resulting lock |
+  EXPECT_EQ(classify(LockAttributes::spin()), WaitingKind::kPureSpin);
+  EXPECT_EQ(classify(LockAttributes::backoff_spin()),
+            WaitingKind::kBackoffSpin);
+  EXPECT_EQ(classify(LockAttributes::blocking()), WaitingKind::kPureSleep);
+  EXPECT_EQ(classify(LockAttributes::conditional(1000)),
+            WaitingKind::kConditional);
+  EXPECT_EQ(classify(LockAttributes::combined(10)), WaitingKind::kMixed);
+}
+
+TEST(Attributes, DefaultIsPureSpin) {
+  EXPECT_EQ(classify(LockAttributes{}), WaitingKind::kPureSpin);
+}
+
+TEST(Attributes, ZeroEverythingIsDegenerate) {
+  EXPECT_EQ(classify(LockAttributes{0, 0, 0, 0}), WaitingKind::kDegenerate);
+}
+
+TEST(Attributes, ToStringCoversAllKinds) {
+  for (auto k : {WaitingKind::kPureSpin, WaitingKind::kBackoffSpin,
+                 WaitingKind::kPureSleep, WaitingKind::kConditional,
+                 WaitingKind::kMixed, WaitingKind::kDegenerate}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+  for (auto s : {SchedulerKind::kNone, SchedulerKind::kFcfs,
+                 SchedulerKind::kPriorityQueue,
+                 SchedulerKind::kPriorityThreshold, SchedulerKind::kHandoff,
+                 SchedulerKind::kReaderWriter}) {
+    EXPECT_STRNE(to_string(s), "?");
+  }
+}
+
+// Property sweep: every combination of {zero, some, infinite} spin,
+// {zero, some} delay, {zero, some, forever} sleep, {zero, some} timeout
+// must classify per Table 1's rules.
+using AttrCase = std::tuple<std::uint32_t, Nanos, Nanos, Nanos>;
+
+class AttributeSweep : public ::testing::TestWithParam<AttrCase> {};
+
+TEST_P(AttributeSweep, ClassificationFollowsTable1Rules) {
+  const auto [spin, delay, sleep, timeout] = GetParam();
+  const LockAttributes a{spin, delay, sleep, timeout};
+  const WaitingKind k = classify(a);
+
+  if (timeout > 0) {
+    // Row 4: (x, x, x, n) -> conditional, regardless of the rest.
+    EXPECT_EQ(k, WaitingKind::kConditional);
+    return;
+  }
+  if (spin > 0 && sleep > 0) {
+    EXPECT_EQ(k, WaitingKind::kMixed);  // row 5: (n, n, n, x)
+  } else if (spin > 0 && delay > 0) {
+    EXPECT_EQ(k, WaitingKind::kBackoffSpin);  // row 2: (n, n, 0, 0)
+  } else if (spin > 0) {
+    EXPECT_EQ(k, WaitingKind::kPureSpin);  // row 1: (n, 0, 0, 0)
+  } else if (sleep > 0) {
+    EXPECT_EQ(k, WaitingKind::kPureSleep);  // row 3: (0, 0, n, 0)
+  } else {
+    EXPECT_EQ(k, WaitingKind::kDegenerate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, AttributeSweep,
+    ::testing::Combine(
+        ::testing::Values<std::uint32_t>(0, 1, 10, kInfiniteSpins),
+        ::testing::Values<Nanos>(0, 1000),
+        ::testing::Values<Nanos>(0, 1000, kForever),
+        ::testing::Values<Nanos>(0, 1'000'000)));
+
+TEST(Attributes, EqualityComparesAllFields) {
+  EXPECT_EQ(LockAttributes::spin(), LockAttributes::spin());
+  EXPECT_NE(LockAttributes::spin(), LockAttributes::blocking());
+  LockAttributes a = LockAttributes::combined(5);
+  LockAttributes b = LockAttributes::combined(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(Attributes, ConditionalPreservesBasePolicy) {
+  const auto c =
+      LockAttributes::conditional(5000, LockAttributes::combined(3));
+  EXPECT_EQ(c.spin_count, 3u);
+  EXPECT_EQ(c.timeout_ns, 5000u);
+  EXPECT_EQ(classify(c), WaitingKind::kConditional);
+}
+
+}  // namespace
+}  // namespace relock

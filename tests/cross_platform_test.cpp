@@ -1,0 +1,177 @@
+// Cross-platform coverage: the sync primitives and configurable lock on the
+// vthreads platform, and remaining simulator API surface (round-robin
+// spawning, priorities, stats reset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+#include "relock/sim/machine.hpp"
+#include "relock/sync/barrier.hpp"
+#include "relock/sync/condition_variable.hpp"
+#include "relock/sync/semaphore.hpp"
+#include "relock/vthreads/platform.hpp"
+
+namespace relock {
+namespace {
+
+using vthreads::Runtime;
+using vthreads::VThread;
+using VP = vthreads::VthreadPlatform;
+
+// ----------------------------------------------- sync over vthreads ------
+
+TEST(VthreadSync, ConditionVariableProducerConsumer) {
+  Runtime rt(2);
+  TtasLock<VP> lock(rt);
+  ConditionVariable<VP> cv(rt);
+  std::deque<int> queue;
+  std::vector<int> consumed;
+  rt.spawn([&](VThread& t) {  // consumer
+    for (int i = 0; i < 500; ++i) {
+      lock.lock(t);
+      cv.wait(t, lock, [&] { return !queue.empty(); });
+      consumed.push_back(queue.front());
+      queue.pop_front();
+      lock.unlock(t);
+    }
+  });
+  rt.spawn([&](VThread& t) {  // producer
+    for (int i = 0; i < 500; ++i) {
+      lock.lock(t);
+      queue.push_back(i);
+      lock.unlock(t);
+      cv.notify_one(t);
+    }
+  });
+  rt.wait_all();
+  ASSERT_EQ(consumed.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(VthreadSync, SemaphoreBoundsConcurrency) {
+  Runtime rt(3);
+  Semaphore<VP> sem(rt, 2, Placement::any(), LockAttributes::blocking());
+  std::atomic<int> in_use{0};
+  std::atomic<bool> violated{false};
+  for (int i = 0; i < 9; ++i) {
+    rt.spawn([&](VThread& t) {
+      for (int j = 0; j < 100; ++j) {
+        ASSERT_TRUE(sem.acquire(t));
+        if (in_use.fetch_add(1) + 1 > 2) violated.store(true);
+        in_use.fetch_sub(1);
+        sem.release(t);
+      }
+    });
+  }
+  rt.wait_all();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(VthreadSync, BarrierAcrossOversubscribedVprocs) {
+  Runtime rt(2);
+  constexpr std::uint32_t kParties = 6;  // more parties than vprocs:
+  // a spinning barrier would deadlock here; the sleeping policy must not.
+  Barrier<VP> barrier(rt, kParties, Placement::any(),
+                      LockAttributes::combined(32, kForever));
+  std::atomic<int> round_count{0};
+  std::atomic<bool> torn{false};
+  for (std::uint32_t i = 0; i < kParties; ++i) {
+    rt.spawn([&](VThread& t) {
+      for (int r = 0; r < 20; ++r) {
+        round_count.fetch_add(1);
+        barrier.arrive_and_wait(t);
+        if (round_count.load() < (r + 1) * static_cast<int>(kParties)) {
+          torn.store(true);
+        }
+      }
+    });
+  }
+  rt.wait_all();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(VthreadSync, ConfigurableLockConditionalTimeout) {
+  Runtime rt(2);
+  ConfigurableLock<VP>::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.attributes = LockAttributes::blocking();
+  ConfigurableLock<VP> lock(rt, o);
+  std::atomic<bool> holder_ready{false};
+  std::atomic<bool> timed_out{false};
+  rt.spawn([&](VThread& t) {
+    ASSERT_TRUE(lock.lock(t));
+    holder_ready.store(true);
+    spin_for(30'000'000);  // 30 ms
+    lock.unlock(t);
+  });
+  rt.spawn([&](VThread& t) {
+    while (!holder_ready.load()) rt.yield(t);
+    timed_out.store(!lock.lock_for(t, 3'000'000));  // 3 ms << 30 ms
+  });
+  rt.wait_all();
+  EXPECT_TRUE(timed_out.load());
+}
+
+// --------------------------------------------------- simulator extras ----
+
+TEST(MachineExtras, AnyProcSpawnsRoundRobin) {
+  sim::Machine m(sim::MachineParams::test_machine(3));
+  std::vector<sim::ProcId> procs;
+  for (int i = 0; i < 6; ++i) {
+    const ThreadId tid =
+        m.spawn(sim::kAnyProc, [](sim::Thread&) {});
+    procs.push_back(m.thread(tid).processor());
+  }
+  m.run();
+  EXPECT_EQ(procs, (std::vector<sim::ProcId>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(MachineExtras, ThreadPriorityIsVisible) {
+  sim::Machine m(sim::MachineParams::test_machine(1));
+  Priority seen = 0;
+  const ThreadId tid = m.spawn(0, [&](sim::Thread& t) {
+    seen = t.priority();
+    t.set_priority(-4);
+  }, /*priority=*/7);
+  m.run();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(m.thread(tid).priority(), -4);
+}
+
+TEST(MachineExtras, ResetStatsClearsCounters) {
+  sim::Machine m(sim::MachineParams::test_machine(2));
+  m.spawn(0, [&](sim::Thread& t) {
+    sim::SimWord w(m, 0, Placement::on(1));
+    m.mem_write(t, w.cell(), 1);
+  });
+  m.run();
+  EXPECT_GT(m.stats().writes_remote, 0u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().writes_remote, 0u);
+  EXPECT_EQ(m.stats().total_references(), 0u);
+}
+
+TEST(MachineExtras, ThreadCountGrowsWithSpawns) {
+  sim::Machine m(sim::MachineParams::test_machine(2));
+  EXPECT_EQ(m.thread_count(), 0u);
+  m.spawn(0, [](sim::Thread&) {});
+  m.spawn(1, [](sim::Thread&) {});
+  EXPECT_EQ(m.thread_count(), 2u);
+  m.run();
+  EXPECT_EQ(m.thread_count(), 2u);  // finished threads remain inspectable
+}
+
+TEST(MachineExtras, SimWordPeekDoesNotAdvanceTime) {
+  sim::Machine m(sim::MachineParams::test_machine(1));
+  sim::SimWord w(m, 17, Placement::on(0));
+  EXPECT_EQ(w.peek(), 17u);
+  EXPECT_EQ(m.now(), 0u);
+}
+
+}  // namespace
+}  // namespace relock

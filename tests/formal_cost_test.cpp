@@ -1,0 +1,187 @@
+// The paper's formal characterization (section 4.1) prices each operation
+// in memory reads and writes: t = n1 R n2 W. The simulator counts every
+// simulated reference, so these tests assert the operation costs *exactly*:
+//
+//   - registration:          1 W   ("the cost of one write operation")
+//   - possess:               one test-and-set (1 RMW)
+//   - configure(waiting):    1R 1W
+//   - configure(scheduler):  1R 5W (3 submodules + flag set + deferred
+//                            flag reset) plus the guarded module swap
+//   - lock fast path:        1 RMW + the owner-registration write
+#include <gtest/gtest.h>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock {
+namespace {
+
+using sim::Machine;
+using sim::MachineParams;
+using sim::MachineStats;
+using sim::SimPlatform;
+using sim::Thread;
+
+using Lock = ConfigurableLock<SimPlatform>;
+
+struct OpCost {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+};
+
+/// Runs `op` on a fresh machine/lock and counts the simulated references it
+/// performs (after optional setup which is excluded from the count).
+template <typename Setup, typename Op>
+OpCost measure(SchedulerKind sched, Setup setup, Op op) {
+  Machine m(MachineParams::test_machine(2));
+  Lock::Options o;
+  o.scheduler = sched;
+  o.placement = Placement::on(0);
+  Lock lock(m, o);
+  OpCost cost;
+  m.spawn(0, [&](Thread& t) {
+    setup(lock, t);
+    const MachineStats before = m.stats();
+    op(lock, t);
+    const MachineStats after = m.stats();
+    cost.reads = (after.reads_local + after.reads_remote) -
+                 (before.reads_local + before.reads_remote);
+    cost.writes = (after.writes_local + after.writes_remote) -
+                  (before.writes_local + before.writes_remote);
+    cost.rmws = (after.rmws_local + after.rmws_remote) -
+                (before.rmws_local + before.rmws_remote);
+  });
+  m.run();
+  return cost;
+}
+
+TEST(FormalCosts, PossessIsOneTestAndSet) {
+  const OpCost c = measure(
+      SchedulerKind::kFcfs, [](Lock&, Thread&) {},
+      [](Lock& l, Thread& t) {
+        ASSERT_TRUE(l.try_possess(t, AttributeClass::kWaitingPolicy));
+      });
+  EXPECT_EQ(c.rmws, 1u);
+  EXPECT_EQ(c.reads, 0u);
+  EXPECT_EQ(c.writes, 0u);
+}
+
+TEST(FormalCosts, ReleasePossessionIsOneRmw) {
+  const OpCost c = measure(
+      SchedulerKind::kFcfs,
+      [](Lock& l, Thread& t) {
+        l.possess(t, AttributeClass::kWaitingPolicy);
+      },
+      [](Lock& l, Thread& t) {
+        l.release_possession(t, AttributeClass::kWaitingPolicy);
+      });
+  EXPECT_EQ(c.rmws, 1u);
+}
+
+TEST(FormalCosts, ConfigureWaitingIs1R1W) {
+  // "A simple dynamic alteration of waiting mechanism of a lock needs only
+  // one memory read and one memory write."
+  const OpCost c = measure(
+      SchedulerKind::kFcfs, [](Lock&, Thread&) {},
+      [](Lock& l, Thread& t) {
+        l.configure_waiting(t, LockAttributes::blocking());
+      });
+  EXPECT_EQ(c.reads, 1u);
+  EXPECT_EQ(c.writes, 1u);
+  EXPECT_EQ(c.rmws, 0u);
+}
+
+TEST(FormalCosts, ConfigureSchedulerIs1R5WPlusGuard) {
+  // "Alteration of scheduler ... requires three memory writes for three
+  // submodules, one memory write to set a flag, and another memory write
+  // to reset the flag" - 1R5W. Our implementation additionally guards the
+  // module swap with the meta word: +1 R (TTAS probe) +1 RMW (acquire)
+  // +1 W (release).
+  const OpCost c = measure(
+      SchedulerKind::kFcfs, [](Lock&, Thread&) {},
+      [](Lock& l, Thread& t) {
+        l.configure_scheduler(t, SchedulerKind::kPriorityQueue);
+      });
+  EXPECT_EQ(c.reads, 1u + 1u);     // 1R (paper: the delay flag) + meta probe
+  EXPECT_EQ(c.writes, 5u + 1u);    // 5W (paper) + meta release
+  EXPECT_EQ(c.rmws, 1u);           // meta acquire
+}
+
+TEST(FormalCosts, UncontendedLockIsOneRmwPlusRegistrationWrite) {
+  const OpCost c = measure(
+      SchedulerKind::kFcfs, [](Lock&, Thread&) {},
+      [](Lock& l, Thread& t) { ASSERT_TRUE(l.lock(t)); });
+  EXPECT_EQ(c.rmws, 1u);    // the atomior fast path
+  EXPECT_EQ(c.writes, 1u);  // owner registration ("one write operation")
+  EXPECT_EQ(c.reads, 0u);
+}
+
+TEST(FormalCosts, UncontendedUnlockReleaseModule) {
+  // Unlock runs the release module under the meta guard: meta RMW, owner
+  // clear, state publish, meta release = 1 RMW + 3 W (matches the paper's
+  // "extra work required to check for currently blocked threads").
+  const OpCost c = measure(
+      SchedulerKind::kFcfs,
+      [](Lock& l, Thread& t) { ASSERT_TRUE(l.lock(t)); },
+      [](Lock& l, Thread& t) { l.unlock(t); });
+  EXPECT_EQ(c.rmws, 1u);
+  EXPECT_EQ(c.writes, 3u);
+  EXPECT_EQ(c.reads, 1u);  // TTAS probe of the meta word
+}
+
+TEST(FormalCosts, AdviseIsOneWrite) {
+  const OpCost c = measure(
+      SchedulerKind::kFcfs,
+      [](Lock& l, Thread& t) { ASSERT_TRUE(l.lock(t)); },
+      [](Lock& l, Thread& t) { l.advise(t, Advice::kSleep, 1'000'000); });
+  EXPECT_EQ(c.writes, 1u);
+  EXPECT_EQ(c.reads, 0u);
+  EXPECT_EQ(c.rmws, 0u);
+}
+
+TEST(FormalCosts, TryLockFailureIsOneRmw) {
+  Machine m(MachineParams::test_machine(2));
+  Lock::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.placement = Placement::on(0);
+  Lock lock(m, o);
+  OpCost cost;
+  m.spawn(0, [&](Thread& t) {
+    ASSERT_TRUE(lock.lock(t));
+    const MachineStats before = m.stats();
+    EXPECT_FALSE(lock.try_lock(t));
+    const MachineStats after = m.stats();
+    cost.rmws = (after.rmws_local + after.rmws_remote) -
+                (before.rmws_local + before.rmws_remote);
+    cost.writes = (after.writes_local + after.writes_remote) -
+                  (before.writes_local + before.writes_remote);
+    lock.unlock(t);
+  });
+  m.run();
+  EXPECT_EQ(cost.rmws, 1u);
+  EXPECT_EQ(cost.writes, 0u);
+}
+
+TEST(FormalCosts, HotspotTrafficLandsOnTheLockModule) {
+  // All of the configurable lock's words are placed on node 0; an
+  // uncontended lock/unlock cycle must touch only that module.
+  Machine m(MachineParams::test_machine(4));
+  Lock::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.placement = Placement::on(0);
+  Lock lock(m, o);
+  m.spawn(1, [&](Thread& t) {  // a remote processor
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(lock.lock(t));
+      lock.unlock(t);
+    }
+  });
+  m.run();
+  EXPECT_GT(m.module_accesses(0), 0u);
+  EXPECT_EQ(m.module_accesses(1), 0u);
+  EXPECT_EQ(m.module_accesses(2), 0u);
+}
+
+}  // namespace
+}  // namespace relock

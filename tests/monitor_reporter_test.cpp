@@ -1,0 +1,130 @@
+// LockMonitor details and the human-readable reporter.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "relock/monitor/lock_monitor.hpp"
+#include "relock/monitor/reporter.hpp"
+
+namespace relock {
+namespace {
+
+TEST(LockMonitorUnit, SnapshotReflectsEvents) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_acquire(false);
+  mon.on_acquire(true);
+  mon.on_wait_complete(1000);
+  mon.on_release(500);
+  mon.on_release(2000);
+  mon.on_handoff();
+  mon.on_block();
+  mon.on_wakeup();
+  mon.on_timeout();
+  mon.on_spin_probe();
+  mon.on_reconfiguration(true);
+  mon.on_shared_acquire();
+  const LockStats s = mon.snapshot();
+  EXPECT_EQ(s.acquisitions, 3u);  // 2 exclusive + 1 shared
+  EXPECT_EQ(s.contended_acquisitions, 1u);
+  EXPECT_EQ(s.releases, 2u);
+  EXPECT_EQ(s.handoffs, 1u);
+  EXPECT_EQ(s.blocks, 1u);
+  EXPECT_EQ(s.wakeups, 1u);
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.spin_probes, 1u);
+  EXPECT_EQ(s.reconfigurations, 1u);
+  EXPECT_EQ(s.scheduler_changes, 1u);
+  EXPECT_EQ(s.shared_acquisitions, 1u);
+  EXPECT_EQ(s.total_wait_ns, 1000u);
+  EXPECT_EQ(s.total_hold_ns, 2500u);
+  EXPECT_EQ(s.max_hold_ns, 2000u);
+  EXPECT_DOUBLE_EQ(s.mean_hold_ns(), 1250.0);
+  EXPECT_DOUBLE_EQ(s.mean_wait_ns(), 1000.0);
+}
+
+TEST(LockMonitorUnit, ResetClearsEverything) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_acquire(true);
+  mon.on_release(100);
+  mon.reset();
+  const LockStats s = mon.snapshot();
+  EXPECT_EQ(s.acquisitions, 0u);
+  EXPECT_EQ(s.releases, 0u);
+  EXPECT_EQ(s.total_hold_ns, 0u);
+  for (const auto b : s.hold_histogram) EXPECT_EQ(b, 0u);
+}
+
+TEST(LockMonitorUnit, HistogramBucketsPopulate) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_release(1);        // bucket 0
+  mon.on_release(1024);     // bucket 10
+  mon.on_release(1500);     // bucket 10
+  const LockStats s = mon.snapshot();
+  EXPECT_EQ(s.hold_histogram[0], 1u);
+  EXPECT_EQ(s.hold_histogram[10], 2u);
+}
+
+TEST(LockMonitorUnit, ConcurrentUpdatesDoNotLoseCounts) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4, kEvents = 10'000;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kEvents; ++j) {
+        mon.on_acquire(true);
+        mon.on_release(100);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const LockStats s = mon.snapshot();
+  EXPECT_EQ(s.acquisitions, static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(s.releases, static_cast<std::uint64_t>(kThreads) * kEvents);
+}
+
+TEST(LockMonitorUnit, MaxTrackerIsMonotone) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_release(500);
+  mon.on_release(100);  // smaller: max unchanged
+  mon.on_release(900);
+  EXPECT_EQ(mon.snapshot().max_hold_ns, 900u);
+}
+
+TEST(Reporter, FormatsNonEmptyStats) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_acquire(true);
+  mon.on_wait_complete(5000);
+  mon.on_release(123'456);
+  const std::string out = format_stats(mon.snapshot());
+  EXPECT_NE(out.find("acquisitions: 1"), std::string::npos);
+  EXPECT_NE(out.find("wait-time histogram:"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos) << "histogram bars expected";
+}
+
+TEST(Reporter, EmptyHistogramRendersPlaceholder) {
+  LockStats s;
+  const std::string out = format_histogram(s.wait_histogram, "empty:");
+  EXPECT_NE(out.find("(empty)"), std::string::npos);
+}
+
+TEST(Reporter, HistogramRangeCoversOnlyPopulatedBuckets) {
+  LockStats s;
+  s.wait_histogram[4] = 10;
+  s.wait_histogram[6] = 5;
+  const std::string out = format_histogram(s.wait_histogram, "t:");
+  EXPECT_NE(out.find("2^04"), std::string::npos);
+  EXPECT_NE(out.find("2^05"), std::string::npos);  // in-range zero bucket
+  EXPECT_NE(out.find("2^06"), std::string::npos);
+  EXPECT_EQ(out.find("2^03"), std::string::npos);
+  EXPECT_EQ(out.find("2^07"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relock

@@ -1,0 +1,229 @@
+// The native convenience wrappers: relock::native::Mutex / SharedMutex
+// interoperating with standard <mutex> utilities.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "relock/native/mutex.hpp"
+
+namespace relock::native {
+namespace {
+
+TEST(NativeMutex, BasicLockableWithScopedLock) {
+  Mutex mu;
+  int value = 0;
+  {
+    std::scoped_lock guard(mu);
+    value = 42;
+  }
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(NativeMutex, TryLockFailsWhenHeld) {
+  Mutex mu;
+  mu.lock();
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+}
+
+TEST(NativeMutex, TryLockForTimesOut) {
+  Mutex mu(Mutex::blocking());
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.try_lock_for(5'000'000));  // 5 ms
+  });
+  other.join();
+  mu.unlock();
+}
+
+TEST(NativeMutex, TryLockForSucceedsWhenReleased) {
+  Mutex mu(Mutex::blocking());
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_TRUE(mu.try_lock_for(5'000'000'000ULL));
+    mu.unlock();
+  });
+  spin_for(2'000'000);
+  mu.unlock();
+  other.join();
+}
+
+TEST(NativeMutex, RecursiveConfiguration) {
+  Mutex mu(Mutex::recursive());
+  mu.lock();
+  mu.lock();  // re-entry must not deadlock
+  mu.unlock();
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock()); });
+  other.join();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(NativeMutex, StressAllConfigurations) {
+  for (const auto& options :
+       {Mutex::spin(), Mutex::combined(), Mutex::blocking()}) {
+    Mutex mu(options);
+    std::uint64_t counter = 0;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&] {
+        for (int j = 0; j < 2000; ++j) {
+          std::scoped_lock guard(mu);
+          ++counter;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(counter, 8000u);
+  }
+}
+
+TEST(NativeMutex, UnderlyingExposesReconfiguration) {
+  Mutex mu;
+  auto& ctx = this_thread_context();
+  mu.underlying().configure_waiting(ctx, LockAttributes::blocking());
+  EXPECT_EQ(classify(mu.underlying().attributes()), WaitingKind::kPureSleep);
+}
+
+TEST(NativeSharedMutex, SharedLockInterop) {
+  SharedMutex mu;
+  std::uint64_t value = 0;
+  {
+    std::unique_lock guard(mu);
+    value = 7;
+  }
+  {
+    std::shared_lock guard(mu);
+    EXPECT_EQ(value, 7u);
+  }
+}
+
+TEST(NativeSharedMutex, ReadersOverlapWriterExcludes) {
+  SharedMutex mu;
+  std::atomic<int> readers{0};
+  std::atomic<int> max_readers{0};
+  std::atomic<bool> writer_overlap{false};
+  std::atomic<bool> writer_in{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 300; ++j) {
+        std::shared_lock guard(mu);
+        const int now = readers.fetch_add(1) + 1;
+        int prev = max_readers.load();
+        while (now > prev && !max_readers.compare_exchange_weak(prev, now)) {
+        }
+        if (writer_in.load()) writer_overlap.store(true);
+        readers.fetch_sub(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int j = 0; j < 200; ++j) {
+      std::unique_lock guard(mu);
+      writer_in.store(true);
+      if (readers.load() != 0) writer_overlap.store(true);
+      writer_in.store(false);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(writer_overlap.load());
+}
+
+TEST(NativeSharedMutex, TryLockSharedRespectsWriter) {
+  SharedMutex mu;
+  mu.lock();
+  std::thread other([&] { EXPECT_FALSE(mu.try_lock_shared()); });
+  other.join();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+}
+
+TEST(DefaultDomain, ContextsAreDistinctPerThread) {
+  const ThreadId main_id = this_thread_context().self();
+  ThreadId other_id = kInvalidThread;
+  std::thread other([&] { other_id = this_thread_context().self(); });
+  other.join();
+  EXPECT_NE(main_id, other_id);
+  // Repeated use on the same thread returns the same context.
+  EXPECT_EQ(this_thread_context().self(), main_id);
+}
+
+TEST(NativeConfigurableStress, SchedulerSweep) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kNone, SchedulerKind::kFcfs,
+        SchedulerKind::kPriorityQueue, SchedulerKind::kHandoff}) {
+    Domain domain;
+    ConfigurableLock<NativePlatform>::Options o;
+    o.scheduler = kind;
+    o.attributes = LockAttributes::combined(200);
+    ConfigurableLock<NativePlatform> lock(domain, o);
+    std::uint64_t counter = 0;
+    std::atomic<int> in_cs{0};
+    std::atomic<bool> violation{false};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&] {
+        Context ctx(domain);
+        for (int j = 0; j < 1500; ++j) {
+          ASSERT_TRUE(lock.lock(ctx));
+          if (in_cs.fetch_add(1) != 0) violation.store(true);
+          ++counter;
+          in_cs.fetch_sub(1);
+          lock.unlock(ctx);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_FALSE(violation.load()) << to_string(kind);
+    EXPECT_EQ(counter, 6000u) << to_string(kind);
+  }
+}
+
+TEST(NativeConfigurableStress, ReconfigurationUnderLoad) {
+  Domain domain;
+  ConfigurableLock<NativePlatform>::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  ConfigurableLock<NativePlatform> lock(domain, o);
+  std::atomic<bool> stop{false};
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      Context ctx(domain);
+      while (!stop.load(std::memory_order_acquire)) {
+        ASSERT_TRUE(lock.lock(ctx));
+        ++counter;
+        lock.unlock(ctx);
+      }
+    });
+  }
+  // The reconfiguring agent: flips schedulers and waiting policies live.
+  {
+    Context ctx(domain);
+    for (int round = 0; round < 20; ++round) {
+      lock.configure_scheduler(ctx, round % 2 == 0
+                                        ? SchedulerKind::kPriorityQueue
+                                        : SchedulerKind::kFcfs);
+      lock.configure_waiting(ctx, round % 3 == 0
+                                      ? LockAttributes::blocking()
+                                      : LockAttributes::combined(64));
+      spin_for(2'000'000);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(counter, 0u);
+  EXPECT_EQ(lock.monitor().snapshot().acquisitions, 0u);  // monitor off
+}
+
+}  // namespace
+}  // namespace relock::native

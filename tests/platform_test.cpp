@@ -1,0 +1,234 @@
+// Unit tests for the platform layer: RNG, backoff, parker, native domain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "relock/platform/backoff.hpp"
+#include "relock/platform/clock.hpp"
+#include "relock/platform/native.hpp"
+#include "relock/platform/platform.hpp"
+#include "relock/platform/rng.hpp"
+
+namespace relock {
+namespace {
+
+static_assert(Platform<native::NativePlatform>,
+              "NativePlatform must satisfy the Platform concept");
+
+// ---------------------------------------------------------------- RNG ----
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsNearHalf) {
+  Xoshiro256 r(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 r(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Xoshiro256 r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// ------------------------------------------------------------ Backoff ----
+
+TEST(Backoff, GrowsGeometricallyToCap) {
+  BackoffSchedule b(BackoffSchedule::Params{100, 800, 2});
+  EXPECT_EQ(b.next(), 100u);
+  EXPECT_EQ(b.next(), 200u);
+  EXPECT_EQ(b.next(), 400u);
+  EXPECT_EQ(b.next(), 800u);
+  EXPECT_EQ(b.next(), 800u);  // capped
+}
+
+TEST(Backoff, ResetRestartsSchedule) {
+  BackoffSchedule b(BackoffSchedule::Params{100, 800, 2});
+  b.next();
+  b.next();
+  b.reset();
+  EXPECT_EQ(b.next(), 100u);
+}
+
+// ------------------------------------------------------------- Parker ----
+
+TEST(Parker, TokenBeforeParkDoesNotBlock) {
+  Parker p;
+  p.unpark();
+  p.park();  // must return immediately; otherwise the test times out
+  SUCCEED();
+}
+
+TEST(Parker, ParkForTimesOutWithoutToken) {
+  Parker p;
+  EXPECT_FALSE(p.park_for(1'000'000));  // 1 ms
+}
+
+TEST(Parker, ParkForReturnsTrueWhenUnparked) {
+  Parker p;
+  std::thread waker([&] { p.unpark(); });
+  EXPECT_TRUE(p.park_for(5'000'000'000ull));
+  waker.join();
+}
+
+TEST(Parker, CrossThreadWakeup) {
+  Parker p;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    p.park();
+    woke.store(true);
+  });
+  p.unpark();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Parker, TokenIsConsumedByPark) {
+  Parker p;
+  p.unpark();
+  p.park();
+  EXPECT_FALSE(p.park_for(1'000'000));  // second park finds no token
+}
+
+// ------------------------------------------------------------- Domain ----
+
+TEST(NativeDomain, RegistersAndUnregisters) {
+  native::Domain dom(8);
+  EXPECT_EQ(dom.registered_count(), 0u);
+  {
+    native::Context a(dom), b(dom);
+    EXPECT_EQ(dom.registered_count(), 2u);
+    EXPECT_NE(a.self(), b.self());
+  }
+  EXPECT_EQ(dom.registered_count(), 0u);
+}
+
+TEST(NativeDomain, IdsAreRecycled) {
+  native::Domain dom(4);
+  ThreadId first;
+  {
+    native::Context a(dom);
+    first = a.self();
+  }
+  native::Context b(dom);
+  EXPECT_EQ(b.self(), first);
+}
+
+TEST(NativeDomain, UnparkByIdWakesThread) {
+  native::Domain dom;
+  native::Context main_ctx(dom);
+  std::atomic<ThreadId> sleeper_id{kInvalidThread};
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    native::Context ctx(dom);
+    sleeper_id.store(ctx.self());
+    native::NativePlatform::block(ctx);
+    woke.store(true);
+  });
+  while (sleeper_id.load() == kInvalidThread) std::this_thread::yield();
+  native::NativePlatform::unblock(main_ctx, sleeper_id.load());
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(NativeDomain, PriorityIsMutable) {
+  native::Domain dom;
+  native::Context ctx(dom, 5);
+  EXPECT_EQ(ctx.priority(), 5);
+  ctx.set_priority(-3);
+  EXPECT_EQ(ctx.priority(), -3);
+}
+
+// -------------------------------------------------------------- Clock ----
+
+TEST(Clock, MonotonicAdvances) {
+  const Nanos a = monotonic_now();
+  spin_for(100'000);  // 100 us
+  const Nanos b = monotonic_now();
+  EXPECT_GE(b - a, 100'000u);
+}
+
+TEST(Clock, StopwatchMeasures) {
+  Stopwatch sw;
+  spin_for(200'000);
+  EXPECT_GE(sw.elapsed(), 200'000u);
+}
+
+// --------------------------------------------------- Native atomics ------
+
+TEST(NativePlatform, FetchOrActsAsTestAndSet) {
+  native::Domain dom;
+  native::Context ctx(dom);
+  native::Word w(dom);
+  using P = native::NativePlatform;
+  EXPECT_EQ(P::fetch_or(ctx, w, 1), 0u);
+  EXPECT_EQ(P::fetch_or(ctx, w, 1), 1u);
+  P::store(ctx, w, 0);
+  EXPECT_EQ(P::fetch_or(ctx, w, 1), 0u);
+}
+
+TEST(NativePlatform, CasSemantics) {
+  native::Domain dom;
+  native::Context ctx(dom);
+  native::Word w(dom, 5);
+  using P = native::NativePlatform;
+  EXPECT_FALSE(P::cas(ctx, w, 4, 9));
+  EXPECT_EQ(P::load(ctx, w), 5u);
+  EXPECT_TRUE(P::cas(ctx, w, 5, 9));
+  EXPECT_EQ(P::load(ctx, w), 9u);
+}
+
+TEST(NativePlatform, FetchAddWrapsLikeTwosComplement) {
+  native::Domain dom;
+  native::Context ctx(dom);
+  native::Word w(dom, 10);
+  using P = native::NativePlatform;
+  P::fetch_add(ctx, w, static_cast<std::uint64_t>(-4));
+  EXPECT_EQ(P::load(ctx, w), 6u);
+}
+
+}  // namespace
+}  // namespace relock

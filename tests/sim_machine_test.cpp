@@ -1,0 +1,428 @@
+// Unit tests for the NUMA machine simulator: coroutines, event ordering,
+// timing model, scheduling, blocking, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relock/platform/platform.hpp"
+#include "relock/sim/coroutine.hpp"
+#include "relock/sim/event_queue.hpp"
+#include "relock/sim/machine.hpp"
+
+namespace relock::sim {
+namespace {
+
+static_assert(Platform<SimPlatform>,
+              "SimPlatform must satisfy the Platform concept");
+
+// ---------------------------------------------------------- Coroutine ----
+
+TEST(Coroutine, RunsToCompletion) {
+  int x = 0;
+  Coroutine c([&] { x = 42; });
+  EXPECT_FALSE(c.finished());
+  c.resume();
+  EXPECT_TRUE(c.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Coroutine, SuspendResumeRoundTrips) {
+  std::vector<int> order;
+  Coroutine* self = nullptr;
+  Coroutine c([&] {
+    order.push_back(1);
+    self->suspend();
+    order.push_back(3);
+    self->suspend();
+    order.push_back(5);
+  });
+  self = &c;
+  c.resume();
+  order.push_back(2);
+  c.resume();
+  order.push_back(4);
+  c.resume();
+  EXPECT_TRUE(c.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Coroutine, NestedCoroutines) {
+  int sum = 0;
+  Coroutine inner([&] { sum += 10; });
+  Coroutine outer([&] {
+    sum += 1;
+    inner.resume();
+    sum += 100;
+  });
+  outer.resume();
+  EXPECT_EQ(sum, 111);
+  EXPECT_TRUE(inner.finished());
+  EXPECT_TRUE(outer.finished());
+}
+
+TEST(Coroutine, PreservesCalleeSavedStateAcrossSwitches) {
+  // Exercise locals that live in callee-saved registers across suspends.
+  long acc = 0;
+  Coroutine* self = nullptr;
+  Coroutine c([&] {
+    long a = 1, b = 2, d = 3, e = 4, f = 5, g = 6;
+    self->suspend();
+    a *= 7; b *= 7; d *= 7; e *= 7; f *= 7; g *= 7;
+    self->suspend();
+    acc = a + b + d + e + f + g;
+  });
+  self = &c;
+  c.resume();
+  c.resume();
+  c.resume();
+  EXPECT_EQ(acc, 7 * (1 + 2 + 3 + 4 + 5 + 6));
+}
+
+TEST(Coroutine, FloatingPointSurvivesSwitch) {
+  double out = 0;
+  Coroutine* self = nullptr;
+  Coroutine c([&] {
+    double v = 1.5;
+    self->suspend();
+    v *= 2.0;
+    out = v;
+  });
+  self = &c;
+  c.resume();
+  c.resume();
+  EXPECT_DOUBLE_EQ(out, 3.0);
+}
+
+// --------------------------------------------------------- EventQueue ----
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(30, EventKind::kResume, 3);
+  q.push(10, EventKind::kResume, 1);
+  q.push(20, EventKind::kResume, 2);
+  EXPECT_EQ(q.pop().subject, 1u);
+  EXPECT_EQ(q.pop().subject, 2u);
+  EXPECT_EQ(q.pop().subject, 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 10; ++i) q.push(5, EventKind::kReady, i);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop().subject, i);
+}
+
+// ------------------------------------------------------------ Machine ----
+
+TEST(Machine, SingleThreadRunsAndFinishes) {
+  Machine m(MachineParams::test_machine());
+  bool ran = false;
+  m.spawn(0, [&](Thread&) { ran = true; });
+  m.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Machine, ComputeAdvancesVirtualTime) {
+  Machine m(MachineParams::test_machine());
+  Nanos observed = 0;
+  m.spawn(0, [&](Thread& t) {
+    const Nanos before = m.now();
+    m.compute(t, 1000);
+    observed = m.now() - before;
+  });
+  m.run();
+  EXPECT_EQ(observed, 1000u);
+}
+
+TEST(Machine, LocalAccessCheaperThanRemote) {
+  MachineParams p = MachineParams::test_machine(2);
+  Machine m(p);
+  Nanos local_cost = 0, remote_cost = 0;
+  m.spawn(0, [&](Thread& t) {
+    SimWord local(m, 0, Placement::on(0));
+    SimWord remote(m, 0, Placement::on(1));
+    Nanos t0 = m.now();
+    m.mem_read(t, local.cell());
+    local_cost = m.now() - t0;
+    t0 = m.now();
+    m.mem_read(t, remote.cell());
+    remote_cost = m.now() - t0;
+  });
+  m.run();
+  EXPECT_EQ(local_cost, p.read_local + p.op_overhead);
+  EXPECT_EQ(remote_cost, p.read_remote + p.op_overhead);
+}
+
+TEST(Machine, RmwIsAtomicAcrossThreads) {
+  Machine m(MachineParams::test_machine(4));
+  SimWord counter(m, 0, Placement::on(0));
+  constexpr int kThreads = 4, kIters = 100;
+  for (int i = 0; i < kThreads; ++i) {
+    m.spawn(static_cast<ProcId>(i), [&](Thread& t) {
+      for (int j = 0; j < kIters; ++j) {
+        m.mem_rmw(t, counter.cell(), [](std::uint64_t v) { return v + 1; });
+      }
+    });
+  }
+  m.run();
+  EXPECT_EQ(counter.peek(), static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(Machine, ModuleContentionSerializesAccesses) {
+  // Two threads hammering one module must take at least the sum of
+  // occupancies; a third thread using another module is unaffected.
+  MachineParams p = MachineParams::test_machine(3);
+  p.occupancy_rmw = 100;
+  p.rmw_local = 100;
+  p.rmw_remote = 100;
+  Machine m(p);
+  SimWord hot(m, 0, Placement::on(0));
+  Nanos t_finish[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(static_cast<ProcId>(i), [&, i](Thread& t) {
+      for (int j = 0; j < 10; ++j) {
+        m.mem_rmw(t, hot.cell(), [](std::uint64_t v) { return v + 1; });
+      }
+      t_finish[i] = m.now();
+    });
+  }
+  m.run();
+  // 20 RMWs serialized on one module: >= 20 * occupancy.
+  EXPECT_GE(std::max(t_finish[0], t_finish[1]), 20u * p.occupancy_rmw);
+}
+
+TEST(Machine, CasFailureDoesNotWrite) {
+  Machine m(MachineParams::test_machine());
+  SimWord w(m, 7, Placement::on(0));
+  bool ok1 = true, ok2 = false;
+  m.spawn(0, [&](Thread& t) {
+    ok1 = m.mem_cas(t, w.cell(), 3, 99);
+    ok2 = m.mem_cas(t, w.cell(), 7, 99);
+  });
+  m.run();
+  EXPECT_FALSE(ok1);
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(w.peek(), 99u);
+}
+
+TEST(Machine, BlockUnblockRoundTrip) {
+  Machine m(MachineParams::test_machine(2));
+  std::vector<int> order;
+  ThreadId sleeper = m.spawn(0, [&](Thread& t) {
+    order.push_back(1);
+    m.block(t);
+    order.push_back(3);
+  });
+  m.spawn(1, [&](Thread& t) {
+    m.compute(t, 1000);  // let the sleeper block first
+    order.push_back(2);
+    m.unblock(t, sleeper);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Machine, UnblockBeforeBlockLeavesToken) {
+  Machine m(MachineParams::test_machine(2));
+  ThreadId a = kInvalidThread;
+  bool done = false;
+  a = m.spawn(0, [&](Thread& t) {
+    m.compute(t, 5000);  // wake arrives during this
+    m.block(t);          // must consume the token, not deadlock
+    done = true;
+  });
+  m.spawn(1, [&](Thread& t) { m.unblock(t, a); });
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Machine, BlockForTimesOut) {
+  Machine m(MachineParams::test_machine());
+  bool woken = true;
+  m.spawn(0, [&](Thread& t) { woken = m.block_for(t, 10'000); });
+  m.run();
+  EXPECT_FALSE(woken);
+}
+
+TEST(Machine, BlockForWokenByUnblock) {
+  Machine m(MachineParams::test_machine(2));
+  bool woken = false;
+  ThreadId sleeper = m.spawn(0, [&](Thread& t) {
+    woken = m.block_for(t, 1'000'000'000);
+  });
+  m.spawn(1, [&](Thread& t) {
+    m.compute(t, 1000);
+    m.unblock(t, sleeper);
+  });
+  m.run();
+  EXPECT_TRUE(woken);
+}
+
+TEST(Machine, StaleSleepExpiryIsIgnored) {
+  // Thread sleeps, is woken, then blocks again; the first timer must not
+  // wake the second block.
+  Machine m(MachineParams::test_machine(2));
+  int wakes = 0;
+  ThreadId sleeper = m.spawn(0, [&](Thread& t) {
+    if (m.block_for(t, 100'000)) ++wakes;  // woken by peer
+    if (m.block_for(t, 500'000)) ++wakes;  // must time out, not stale-fire
+  });
+  m.spawn(1, [&](Thread& t) {
+    m.compute(t, 1000);
+    m.unblock(t, sleeper);
+  });
+  m.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Machine, JoinWaitsForTarget) {
+  Machine m(MachineParams::test_machine(2));
+  std::vector<int> order;
+  ThreadId worker = m.spawn(0, [&](Thread& t) {
+    m.compute(t, 100'000);
+    order.push_back(1);
+  });
+  m.spawn(1, [&](Thread& t) {
+    m.join(t, worker);
+    order.push_back(2);
+  });
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Machine, MultipleThreadsPerProcessorTimeSlice) {
+  // Two compute-bound threads on one processor must interleave via quantum
+  // preemption and both finish.
+  MachineParams p = MachineParams::test_machine(1);
+  p.quantum = 1000;
+  Machine m(p);
+  bool done[2] = {false, false};
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(0, [&, i](Thread& t) {
+      for (int j = 0; j < 20; ++j) m.compute(t, 500);
+      done[i] = true;
+    });
+  }
+  m.run();
+  EXPECT_TRUE(done[0]);
+  EXPECT_TRUE(done[1]);
+  EXPECT_GT(m.stats().preemptions, 0u);
+}
+
+TEST(Machine, CooperativeModeNeverPreempts) {
+  MachineParams p = MachineParams::test_machine(1);
+  p.quantum = kForever;
+  Machine m(p);
+  std::vector<int> order;
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(0, [&, i](Thread& t) {
+      m.compute(t, 10'000);
+      order.push_back(i);
+    });
+  }
+  m.run();
+  EXPECT_EQ(m.stats().preemptions, 0u);
+  // First spawned runs to completion before second starts.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Machine, YieldRotatesReadyQueue) {
+  MachineParams p = MachineParams::test_machine(1);
+  p.quantum = kForever;
+  Machine m(p);
+  std::vector<int> order;
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(0, [&, i](Thread& t) {
+      order.push_back(i);
+      m.yield(t);
+      order.push_back(10 + i);
+    });
+  }
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(Machine, DeadlockIsDetected) {
+  Machine m(MachineParams::test_machine());
+  m.spawn(0, [&](Thread& t) { m.block(t); });  // nobody will wake it
+  EXPECT_THROW(m.run(), SimDeadlockError);
+}
+
+TEST(Machine, RunUntilStopsEarly) {
+  Machine m(MachineParams::test_machine());
+  m.spawn(0, [&](Thread& t) { m.compute(t, 1'000'000); });
+  m.run(/*until=*/1000);
+  EXPECT_LE(m.now(), 1000u);
+  m.run();  // resume to completion
+  EXPECT_GE(m.now(), 1'000'000u);
+}
+
+TEST(Machine, StatsCountAccessClasses) {
+  Machine m(MachineParams::test_machine(2));
+  m.spawn(0, [&](Thread& t) {
+    SimWord local(m, 0, Placement::on(0));
+    SimWord remote(m, 0, Placement::on(1));
+    m.mem_read(t, local.cell());
+    m.mem_write(t, remote.cell(), 1);
+    m.mem_rmw(t, remote.cell(), [](std::uint64_t v) { return v; });
+  });
+  m.run();
+  EXPECT_EQ(m.stats().reads_local, 1u);
+  EXPECT_EQ(m.stats().writes_remote, 1u);
+  EXPECT_EQ(m.stats().rmws_remote, 1u);
+  EXPECT_EQ(m.stats().remote_references(), 2u);
+}
+
+TEST(Machine, CellsAreRecycled) {
+  Machine m(MachineParams::test_machine());
+  CellId first;
+  {
+    SimWord w(m, 1, Placement::on(0));
+    first = w.cell();
+  }
+  SimWord w2(m, 2, Placement::on(0));
+  EXPECT_EQ(w2.cell(), first);
+  EXPECT_EQ(w2.peek(), 2u);
+}
+
+TEST(Machine, InterleavedPlacementRoundRobins) {
+  Machine m(MachineParams::test_machine(3));
+  SimWord a(m), b(m), c(m), d(m);
+  EXPECT_EQ(m.cell_node(a.cell()), 0u);
+  EXPECT_EQ(m.cell_node(b.cell()), 1u);
+  EXPECT_EQ(m.cell_node(c.cell()), 2u);
+  EXPECT_EQ(m.cell_node(d.cell()), 0u);
+}
+
+TEST(Machine, ExceptionInThreadPropagates) {
+  Machine m(MachineParams::test_machine());
+  m.spawn(0, [&](Thread&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(m.run(), std::runtime_error);
+}
+
+// Determinism: identical programs produce identical timings and stats.
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t* final_value) -> Nanos {
+    Machine m(MachineParams::test_machine(4));
+    auto counter = std::make_unique<SimWord>(m, 0, Placement::on(0));
+    for (int i = 0; i < 4; ++i) {
+      m.spawn(static_cast<ProcId>(i), [&m, &counter](Thread& t) {
+        for (int j = 0; j < 50; ++j) {
+          m.mem_rmw(t, counter->cell(),
+                    [](std::uint64_t v) { return v + 1; });
+          m.compute(t, 17);
+        }
+      });
+    }
+    m.run();
+    *final_value = counter->peek();
+    return m.now();
+  };
+  std::uint64_t v1 = 0, v2 = 0;
+  const Nanos t1 = run_once(&v1);
+  const Nanos t2 = run_once(&v2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace relock::sim

@@ -1,0 +1,73 @@
+// The simulator's event trace: capture, capping, digests.
+#include <gtest/gtest.h>
+
+#include "relock/sim/machine.hpp"
+
+namespace relock::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Machine m(MachineParams::test_machine());
+  m.spawn(0, [&](Thread& t) { m.compute(t, 1000); });
+  m.run();
+  EXPECT_TRUE(m.trace().empty());
+}
+
+TEST(Trace, CapturesEventsInOrder) {
+  Machine m(MachineParams::test_machine());
+  m.enable_trace();
+  m.spawn(0, [&](Thread& t) {
+    m.compute(t, 100);
+    m.compute(t, 100);
+  });
+  m.run();
+  ASSERT_FALSE(m.trace().empty());
+  Nanos prev = 0;
+  for (const TraceRecord& r : m.trace()) {
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+  }
+}
+
+TEST(Trace, RespectsCap) {
+  Machine m(MachineParams::test_machine());
+  m.enable_trace(/*cap=*/3);
+  m.spawn(0, [&](Thread& t) {
+    for (int i = 0; i < 50; ++i) m.compute(t, 10);
+  });
+  m.run();
+  EXPECT_EQ(m.trace().size(), 3u);
+}
+
+TEST(Trace, IdenticalProgramsIdenticalDigests) {
+  auto digest = [](std::uint64_t work) {
+    Machine m(MachineParams::test_machine(2));
+    m.enable_trace();
+    for (int i = 0; i < 2; ++i) {
+      m.spawn(static_cast<ProcId>(i), [&m, work](Thread& t) {
+        SimWord w(m, 0, Placement::on(0));
+        for (std::uint64_t j = 0; j < work; ++j) {
+          m.mem_rmw(t, w.cell(), [](std::uint64_t v) { return v + 1; });
+        }
+      });
+    }
+    m.run();
+    return m.trace_digest();
+  };
+  EXPECT_EQ(digest(20), digest(20));
+  EXPECT_NE(digest(20), digest(21));
+}
+
+TEST(Trace, ReenablingClearsOldTrace) {
+  Machine m(MachineParams::test_machine());
+  m.enable_trace();
+  m.spawn(0, [&](Thread& t) { m.compute(t, 100); });
+  m.run();
+  const std::size_t first = m.trace().size();
+  ASSERT_GT(first, 0u);
+  m.enable_trace();
+  EXPECT_TRUE(m.trace().empty());
+}
+
+}  // namespace
+}  // namespace relock::sim

@@ -1,0 +1,246 @@
+// vthreads: the Cthreads-like user-level threads runtime, and lock
+// behaviour on top of it (blocking a vthread frees its virtual processor).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+#include "relock/locks/blocking_lock.hpp"
+#include "relock/platform/platform.hpp"
+#include "relock/vthreads/platform.hpp"
+#include "relock/vthreads/runtime.hpp"
+
+namespace relock::vthreads {
+namespace {
+
+static_assert(Platform<VthreadPlatform>,
+              "VthreadPlatform must satisfy the Platform concept");
+
+TEST(VthreadRuntime, SpawnAndWaitAll) {
+  Runtime rt(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    rt.spawn([&](VThread&) { ran.fetch_add(1); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(VthreadRuntime, ManyMoreThreadsThanVprocs) {
+  Runtime rt(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    rt.spawn([&](VThread& t) {
+      rt.yield(t);
+      ran.fetch_add(1);
+    });
+  }
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(VthreadRuntime, YieldInterleavesThreads) {
+  Runtime rt(1);  // single vproc: interleaving must come from yields
+  std::vector<int> order;
+  std::mutex order_mu;
+  auto log = [&](int v) {
+    std::lock_guard<std::mutex> lk(order_mu);
+    order.push_back(v);
+  };
+  // Spawn both from a parent vthread so they are enqueued back-to-back
+  // before either runs (spawning from the host would race the worker).
+  rt.spawn([&](VThread&) {
+    rt.spawn([&](VThread& t) {
+      log(1);
+      rt.yield(t);
+      log(3);
+    });
+    rt.spawn([&](VThread& t) {
+      log(2);
+      rt.yield(t);
+      log(4);
+    });
+  });
+  rt.wait_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(VthreadRuntime, ParkUnparkRoundTrip) {
+  Runtime rt(2);
+  std::atomic<bool> woke{false};
+  const ThreadId sleeper = rt.spawn([&](VThread& t) {
+    rt.park(t);
+    woke.store(true);
+  });
+  rt.spawn([&](VThread& t) {
+    spin_for(2'000'000);  // let the sleeper park first
+    (void)t;
+    rt.unpark(sleeper);
+  });
+  rt.wait_all();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(VthreadRuntime, UnparkBeforeParkLeavesToken) {
+  Runtime rt(2);
+  std::atomic<bool> done{false};
+  const ThreadId target = rt.spawn([&](VThread& t) {
+    spin_for(3'000'000);  // unpark arrives during this
+    rt.park(t);           // must consume the token
+    done.store(true);
+  });
+  rt.spawn([&](VThread&) { rt.unpark(target); });
+  rt.wait_all();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(VthreadRuntime, ParkForTimesOut) {
+  Runtime rt(1);
+  bool woke = true;
+  rt.spawn([&](VThread& t) { woke = rt.park_for(t, 2'000'000); });
+  rt.wait_all();
+  EXPECT_FALSE(woke);
+}
+
+TEST(VthreadRuntime, ParkForWokenEarly) {
+  Runtime rt(2);
+  std::atomic<bool> woke{false};
+  const ThreadId sleeper = rt.spawn([&](VThread& t) {
+    woke.store(rt.park_for(t, 5'000'000'000ULL));
+  });
+  rt.spawn([&](VThread&) {
+    spin_for(2'000'000);
+    rt.unpark(sleeper);
+  });
+  rt.wait_all();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(VthreadRuntime, JoinWaitsForTarget) {
+  Runtime rt(2);
+  std::atomic<int> stage{0};
+  const ThreadId worker = rt.spawn([&](VThread&) {
+    spin_for(3'000'000);
+    stage.store(1);
+  });
+  rt.spawn([&](VThread& t) {
+    rt.join(t, worker);
+    EXPECT_EQ(stage.load(), 1);
+    stage.store(2);
+  });
+  rt.wait_all();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(VthreadRuntime, SpawnFromInsideVthread) {
+  Runtime rt(2);
+  std::atomic<int> ran{0};
+  rt.spawn([&](VThread&) {
+    for (int i = 0; i < 5; ++i) {
+      rt.spawn([&](VThread&) { ran.fetch_add(1); });
+    }
+  });
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+// ------------------------------------------------------------------------
+// Locks over vthreads.
+// ------------------------------------------------------------------------
+
+TEST(VthreadLocks, SpinLockMutualExclusion) {
+  Runtime rt(2);
+  TtasLock<VthreadPlatform> lock(rt);
+  std::uint64_t counter = 0;
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> violation{false};
+  for (int i = 0; i < 4; ++i) {
+    rt.spawn([&](VThread& t) {
+      for (int j = 0; j < 500; ++j) {
+        lock.lock(t);
+        if (in_cs.fetch_add(1) != 0) violation.store(true);
+        ++counter;
+        in_cs.fetch_sub(1);
+        lock.unlock(t);
+      }
+    });
+  }
+  rt.wait_all();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(counter, 2000u);
+}
+
+TEST(VthreadLocks, BlockingLockFreesVproc) {
+  // One vproc, two vthreads: with a blocking lock the waiter's park lets
+  // the holder run - this would deadlock with a pure spin wait on 1 vproc
+  // were it not for pause()'s yield escape.
+  Runtime rt(1);
+  BlockingLock<VthreadPlatform> lock(rt);
+  std::vector<int> order;
+  rt.spawn([&](VThread& t) {
+    lock.lock(t);
+    rt.yield(t);  // let the second vthread attempt the lock and park
+    order.push_back(1);
+    lock.unlock(t);
+  });
+  rt.spawn([&](VThread& t) {
+    lock.lock(t);  // parks; vproc returns to the holder
+    order.push_back(2);
+    lock.unlock(t);
+  });
+  rt.wait_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(VthreadLocks, ConfigurableLockAllPolicies) {
+  for (const LockAttributes attrs :
+       {LockAttributes::spin(), LockAttributes::blocking(),
+        LockAttributes::combined(32)}) {
+    Runtime rt(2);
+    ConfigurableLock<VthreadPlatform>::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.attributes = attrs;
+    ConfigurableLock<VthreadPlatform> lock(rt, o);
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn([&](VThread& t) {
+        for (int j = 0; j < 200; ++j) {
+          ASSERT_TRUE(lock.lock(t));
+          ++counter;
+          lock.unlock(t);
+        }
+      });
+    }
+    rt.wait_all();
+    EXPECT_EQ(counter, 800u);
+  }
+}
+
+TEST(VthreadLocks, ConfigurableLockOversubscribed) {
+  // 12 vthreads on 2 vprocs with a blocking policy: waiters park, so the
+  // vprocs always run threads that can make progress.
+  Runtime rt(2);
+  ConfigurableLock<VthreadPlatform>::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.attributes = LockAttributes::blocking();
+  o.monitor_enabled = true;
+  ConfigurableLock<VthreadPlatform> lock(rt, o);
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 12; ++i) {
+    rt.spawn([&](VThread& t) {
+      for (int j = 0; j < 100; ++j) {
+        ASSERT_TRUE(lock.lock(t));
+        ++counter;
+        lock.unlock(t);
+      }
+    });
+  }
+  rt.wait_all();
+  EXPECT_EQ(counter, 1200u);
+  EXPECT_EQ(lock.monitor().snapshot().acquisitions, 1200u);
+}
+
+}  // namespace
+}  // namespace relock::vthreads

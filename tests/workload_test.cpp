@@ -1,0 +1,247 @@
+// Workload generator: sampler statistics, arrival processes, the closed-
+// loop CS workload driver, and the client-server harness.
+#include <gtest/gtest.h>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/locks/spin_locks.hpp"
+#include "relock/sim/machine.hpp"
+#include "relock/workload/client_server.hpp"
+#include "relock/workload/cs_workload.hpp"
+#include "relock/workload/samplers.hpp"
+
+namespace relock::workload {
+namespace {
+
+using sim::Machine;
+using sim::MachineParams;
+using sim::SimPlatform;
+
+// ------------------------------------------------------------ Sampler ----
+
+TEST(Sampler, ConstantAlwaysReturnsValue) {
+  Xoshiro256 rng(1);
+  Sampler s = Sampler::constant(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 1234u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1234.0);
+}
+
+TEST(Sampler, UniformStaysInRangeWithCorrectMean) {
+  Xoshiro256 rng(2);
+  Sampler s = Sampler::uniform(100, 300);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const Nanos v = s.sample(rng);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 300u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kN, 200.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 200.0);
+}
+
+TEST(Sampler, ExponentialMeanConverges) {
+  Xoshiro256 rng(3);
+  Sampler s = Sampler::exponential(1000);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(s.sample(rng));
+  // The 20x-mean tail clamp trims < 1% of mass.
+  EXPECT_NEAR(sum / kN, 1000.0, 50.0);
+}
+
+TEST(Sampler, BimodalMixesBothModes) {
+  Xoshiro256 rng(4);
+  Sampler s = Sampler::bimodal(10, 1000, 0.75);
+  int shorts = 0, longs = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const Nanos v = s.sample(rng);
+    if (v == 10) {
+      ++shorts;
+    } else {
+      EXPECT_EQ(v, 1000u);
+      ++longs;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(shorts) / kN, 0.75, 0.03);
+  EXPECT_GT(longs, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.75 * 10 + 0.25 * 1000);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  Sampler s = Sampler::uniform(0, 1'000'000);
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(a), s.sample(b));
+}
+
+// ------------------------------------------------------------ Arrival ----
+
+TEST(Arrival, SmoothFollowsSampler) {
+  Xoshiro256 rng(5);
+  auto a = ArrivalProcess::smooth(Sampler::constant(777));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(rng), 777u);
+}
+
+TEST(Arrival, BurstyAlternatesGaps) {
+  Xoshiro256 rng(6);
+  auto a = ArrivalProcess::bursty(/*burst_size=*/3, /*intra=*/10,
+                                  /*inter=*/100000);
+  // Requests 1,2 of each burst use the intra gap; every 3rd the inter gap.
+  std::vector<Nanos> gaps;
+  for (int i = 0; i < 9; ++i) gaps.push_back(a.next(rng));
+  EXPECT_EQ(gaps, (std::vector<Nanos>{10, 10, 100000, 10, 10, 100000, 10, 10,
+                                      100000}));
+}
+
+// -------------------------------------------------------- CS workload ----
+
+TEST(CsWorkload, CompletesAllIterations) {
+  Machine m(MachineParams::test_machine(4));
+  TasLock<SimPlatform> lock(m, Placement::on(0));
+  CsWorkloadConfig cfg;
+  cfg.locking_threads = 4;
+  cfg.iterations = 20;
+  cfg.cs_length = Sampler::constant(500);
+  cfg.arrival = ArrivalProcess::smooth(Sampler::constant(200));
+  const auto r = run_cs_workload(m, lock, cfg);
+  EXPECT_EQ(r.acquisitions, 80u);
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(CsWorkload, LongerCriticalSectionsTakeLonger) {
+  auto elapsed_for = [](Nanos cs) {
+    Machine m(MachineParams::test_machine(4));
+    TasLock<SimPlatform> lock(m, Placement::on(0));
+    CsWorkloadConfig cfg;
+    cfg.locking_threads = 4;
+    cfg.iterations = 25;
+    cfg.cs_length = Sampler::constant(cs);
+    return run_cs_workload(m, lock, cfg).elapsed;
+  };
+  // Paper section 2: execution time increases linearly with CS length.
+  const Nanos e1 = elapsed_for(1000);
+  const Nanos e2 = elapsed_for(4000);
+  const Nanos e3 = elapsed_for(16000);
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+}
+
+TEST(CsWorkload, UsefulThreadsRunToCompletion) {
+  Machine m(MachineParams::test_machine(2));
+  TasLock<SimPlatform> lock(m, Placement::on(0));
+  CsWorkloadConfig cfg;
+  cfg.locking_threads = 2;
+  cfg.iterations = 10;
+  cfg.cs_length = Sampler::constant(1000);
+  cfg.useful_threads_per_proc = 1;
+  cfg.useful_work_total = 200'000;
+  cfg.useful_work_chunk = 10'000;
+  const auto r = run_cs_workload(m, lock, cfg);
+  // Elapsed covers at least the useful work per processor.
+  EXPECT_GE(r.elapsed, 200'000u);
+  EXPECT_EQ(r.acquisitions, 20u);
+}
+
+TEST(CsWorkload, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine m(MachineParams::test_machine(4));
+    TasLock<SimPlatform> lock(m, Placement::on(0));
+    CsWorkloadConfig cfg;
+    cfg.locking_threads = 4;
+    cfg.iterations = 30;
+    cfg.cs_length = Sampler::uniform(100, 2000);
+    cfg.arrival = ArrivalProcess::smooth(Sampler::exponential(500));
+    cfg.seed = 99;
+    return run_cs_workload(m, lock, cfg).elapsed;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CsWorkload, CustomBodyReceivesIterations) {
+  Machine m(MachineParams::test_machine(2));
+  TasLock<SimPlatform> lock(m, Placement::on(0));
+  CsWorkloadConfig cfg;
+  cfg.locking_threads = 1;
+  cfg.iterations = 5;
+  std::vector<std::uint32_t> seen;
+  const auto r = run_cs_workload_with_body(
+      m, lock, cfg,
+      [&](sim::Thread& t, Xoshiro256&, std::uint32_t iter) {
+        seen.push_back(iter);
+        m.compute(t, 100);
+      });
+  EXPECT_EQ(r.acquisitions, 5u);
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------ Client-server ----
+
+ConfigurableLock<SimPlatform>::Options cs_lock_options(SchedulerKind k) {
+  ConfigurableLock<SimPlatform>::Options o;
+  o.scheduler = k;
+  o.placement = Placement::on(0);
+  o.monitor_enabled = true;
+  return o;
+}
+
+TEST(ClientServer, ServesEveryRequestFcfs) {
+  Machine m(MachineParams::test_machine(6));
+  ConfigurableLock<SimPlatform> lock(m,
+                                     cs_lock_options(SchedulerKind::kFcfs));
+  ClientServerConfig cfg;
+  cfg.clients = 4;
+  cfg.requests_per_client = 5;
+  const auto r = run_client_server(m, lock, cfg, /*handoff=*/false,
+                                   /*dynamic_threshold=*/false);
+  EXPECT_EQ(r.served, 20u);
+  EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(ClientServer, ServesEveryRequestWithDynamicThreshold) {
+  Machine m(MachineParams::test_machine(6));
+  ConfigurableLock<SimPlatform> lock(
+      m, cs_lock_options(SchedulerKind::kPriorityThreshold));
+  ClientServerConfig cfg;
+  cfg.clients = 4;
+  cfg.requests_per_client = 5;
+  const auto r = run_client_server(m, lock, cfg, /*handoff=*/false,
+                                   /*dynamic_threshold=*/true);
+  EXPECT_EQ(r.served, 20u);
+}
+
+TEST(ClientServer, ServesEveryRequestWithHandoff) {
+  Machine m(MachineParams::test_machine(6));
+  ConfigurableLock<SimPlatform> lock(
+      m, cs_lock_options(SchedulerKind::kHandoff));
+  ClientServerConfig cfg;
+  cfg.clients = 4;
+  cfg.requests_per_client = 5;
+  const auto r = run_client_server(m, lock, cfg, /*handoff=*/true,
+                                   /*dynamic_threshold=*/false);
+  EXPECT_EQ(r.served, 20u);
+}
+
+TEST(ClientServer, FloodedServerBenefitsFromPriorityThreshold) {
+  // Table 7's shape: with many flooded clients, priority-threshold and
+  // handoff schedulers serve the workload faster than FCFS.
+  auto run_with = [](SchedulerKind k, bool handoff, bool dyn) {
+    Machine m(MachineParams::test_machine(10));
+    ConfigurableLock<SimPlatform> lock(m, cs_lock_options(k));
+    ClientServerConfig cfg;
+    cfg.clients = 8;
+    cfg.requests_per_client = 8;
+    cfg.client_think = 1000;   // flood: clients re-request immediately
+    cfg.service_time = 4000;
+    cfg.buffer_op = 2000;
+    return run_client_server(m, lock, cfg, handoff, dyn).elapsed;
+  };
+  const Nanos fcfs = run_with(SchedulerKind::kFcfs, false, false);
+  const Nanos prio = run_with(SchedulerKind::kPriorityThreshold, false, true);
+  const Nanos hand = run_with(SchedulerKind::kHandoff, true, false);
+  EXPECT_LT(prio, fcfs);
+  EXPECT_LT(hand, fcfs);
+}
+
+}  // namespace
+}  // namespace relock::workload
