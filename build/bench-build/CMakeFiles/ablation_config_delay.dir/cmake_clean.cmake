@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_config_delay"
+  "../bench/ablation_config_delay.pdb"
+  "CMakeFiles/ablation_config_delay.dir/ablation_config_delay.cpp.o"
+  "CMakeFiles/ablation_config_delay.dir/ablation_config_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_registration"
+  "../bench/ablation_registration.pdb"
+  "CMakeFiles/ablation_registration.dir/ablation_registration.cpp.o"
+  "CMakeFiles/ablation_registration.dir/ablation_registration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

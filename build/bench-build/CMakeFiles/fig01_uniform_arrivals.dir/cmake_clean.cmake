@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_uniform_arrivals"
+  "../bench/fig01_uniform_arrivals.pdb"
+  "CMakeFiles/fig01_uniform_arrivals.dir/fig01_uniform_arrivals.cpp.o"
+  "CMakeFiles/fig01_uniform_arrivals.dir/fig01_uniform_arrivals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_uniform_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_bursty_arrivals"
+  "../bench/fig02_bursty_arrivals.pdb"
+  "CMakeFiles/fig02_bursty_arrivals.dir/fig02_bursty_arrivals.cpp.o"
+  "CMakeFiles/fig02_bursty_arrivals.dir/fig02_bursty_arrivals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bursty_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_useful_threads"
+  "../bench/fig03_useful_threads.pdb"
+  "CMakeFiles/fig03_useful_threads.dir/fig03_useful_threads.cpp.o"
+  "CMakeFiles/fig03_useful_threads.dir/fig03_useful_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_useful_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_combined_locks"
+  "../bench/fig07_combined_locks.pdb"
+  "CMakeFiles/fig07_combined_locks.dir/fig07_combined_locks.cpp.o"
+  "CMakeFiles/fig07_combined_locks.dir/fig07_combined_locks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_combined_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

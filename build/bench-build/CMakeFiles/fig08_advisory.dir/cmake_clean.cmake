@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_advisory"
+  "../bench/fig08_advisory.pdb"
+  "CMakeFiles/fig08_advisory.dir/fig08_advisory.cpp.o"
+  "CMakeFiles/fig08_advisory.dir/fig08_advisory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_advisory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_distributed"
+  "../bench/fig09_distributed.pdb"
+  "CMakeFiles/fig09_distributed.dir/fig09_distributed.cpp.o"
+  "CMakeFiles/fig09_distributed.dir/fig09_distributed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

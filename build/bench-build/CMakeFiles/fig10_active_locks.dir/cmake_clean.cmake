@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_active_locks"
+  "../bench/fig10_active_locks.pdb"
+  "CMakeFiles/fig10_active_locks.dir/fig10_active_locks.cpp.o"
+  "CMakeFiles/fig10_active_locks.dir/fig10_active_locks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_active_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

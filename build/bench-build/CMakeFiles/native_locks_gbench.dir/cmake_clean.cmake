@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_locks_gbench"
+  "../bench/native_locks_gbench.pdb"
+  "CMakeFiles/native_locks_gbench.dir/native_locks_gbench.cpp.o"
+  "CMakeFiles/native_locks_gbench.dir/native_locks_gbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_locks_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

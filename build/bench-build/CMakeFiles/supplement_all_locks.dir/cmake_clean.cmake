@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/supplement_all_locks"
+  "../bench/supplement_all_locks.pdb"
+  "CMakeFiles/supplement_all_locks.dir/supplement_all_locks.cpp.o"
+  "CMakeFiles/supplement_all_locks.dir/supplement_all_locks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplement_all_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_lock_cost"
+  "../bench/table2_lock_cost.pdb"
+  "CMakeFiles/table2_lock_cost.dir/table2_lock_cost.cpp.o"
+  "CMakeFiles/table2_lock_cost.dir/table2_lock_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lock_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

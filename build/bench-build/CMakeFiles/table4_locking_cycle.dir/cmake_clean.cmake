@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_locking_cycle"
+  "../bench/table4_locking_cycle.pdb"
+  "CMakeFiles/table4_locking_cycle.dir/table4_locking_cycle.cpp.o"
+  "CMakeFiles/table4_locking_cycle.dir/table4_locking_cycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_locking_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_configurable_cycle"
+  "../bench/table5_configurable_cycle.pdb"
+  "CMakeFiles/table5_configurable_cycle.dir/table5_configurable_cycle.cpp.o"
+  "CMakeFiles/table5_configurable_cycle.dir/table5_configurable_cycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_configurable_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

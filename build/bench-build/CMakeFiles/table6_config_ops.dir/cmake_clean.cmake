@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_config_ops"
+  "../bench/table6_config_ops.pdb"
+  "CMakeFiles/table6_config_ops.dir/table6_config_ops.cpp.o"
+  "CMakeFiles/table6_config_ops.dir/table6_config_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_config_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

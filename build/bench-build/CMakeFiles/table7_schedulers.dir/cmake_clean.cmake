@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_schedulers"
+  "../bench/table7_schedulers.pdb"
+  "CMakeFiles/table7_schedulers.dir/table7_schedulers.cpp.o"
+  "CMakeFiles/table7_schedulers.dir/table7_schedulers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_lock.dir/adaptive_lock.cpp.o"
+  "CMakeFiles/adaptive_lock.dir/adaptive_lock.cpp.o.d"
+  "adaptive_lock"
+  "adaptive_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisory_pipeline.dir/advisory_pipeline.cpp.o"
+  "CMakeFiles/advisory_pipeline.dir/advisory_pipeline.cpp.o.d"
+  "advisory_pipeline"
+  "advisory_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisory_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

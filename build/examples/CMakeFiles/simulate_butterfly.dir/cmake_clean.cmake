@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_butterfly.dir/simulate_butterfly.cpp.o"
+  "CMakeFiles/simulate_butterfly.dir/simulate_butterfly.cpp.o.d"
+  "simulate_butterfly"
+  "simulate_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

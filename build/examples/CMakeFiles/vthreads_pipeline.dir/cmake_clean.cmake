@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vthreads_pipeline.dir/vthreads_pipeline.cpp.o"
+  "CMakeFiles/vthreads_pipeline.dir/vthreads_pipeline.cpp.o.d"
+  "vthreads_pipeline"
+  "vthreads_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vthreads_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

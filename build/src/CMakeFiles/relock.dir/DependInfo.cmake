@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/context_switch_x86_64.S" "/root/repo/build/src/CMakeFiles/relock.dir/sim/context_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/include"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coroutine.cpp" "src/CMakeFiles/relock.dir/sim/coroutine.cpp.o" "gcc" "src/CMakeFiles/relock.dir/sim/coroutine.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/relock.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/relock.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/stack.cpp" "src/CMakeFiles/relock.dir/sim/stack.cpp.o" "gcc" "src/CMakeFiles/relock.dir/sim/stack.cpp.o.d"
+  "/root/repo/src/vthreads/runtime.cpp" "src/CMakeFiles/relock.dir/vthreads/runtime.cpp.o" "gcc" "src/CMakeFiles/relock.dir/vthreads/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relock.dir/sim/context_switch_x86_64.S.o"
+  "CMakeFiles/relock.dir/sim/coroutine.cpp.o"
+  "CMakeFiles/relock.dir/sim/coroutine.cpp.o.d"
+  "CMakeFiles/relock.dir/sim/machine.cpp.o"
+  "CMakeFiles/relock.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/relock.dir/sim/stack.cpp.o"
+  "CMakeFiles/relock.dir/sim/stack.cpp.o.d"
+  "CMakeFiles/relock.dir/vthreads/runtime.cpp.o"
+  "CMakeFiles/relock.dir/vthreads/runtime.cpp.o.d"
+  "librelock.a"
+  "librelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/relock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

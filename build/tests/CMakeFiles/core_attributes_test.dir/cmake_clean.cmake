@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_attributes_test.dir/core_attributes_test.cpp.o"
+  "CMakeFiles/core_attributes_test.dir/core_attributes_test.cpp.o.d"
+  "core_attributes_test"
+  "core_attributes_test.pdb"
+  "core_attributes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_attributes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_platform_test.dir/cross_platform_test.cpp.o"
+  "CMakeFiles/cross_platform_test.dir/cross_platform_test.cpp.o.d"
+  "cross_platform_test"
+  "cross_platform_test.pdb"
+  "cross_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_cost_test.dir/formal_cost_test.cpp.o"
+  "CMakeFiles/formal_cost_test.dir/formal_cost_test.cpp.o.d"
+  "formal_cost_test"
+  "formal_cost_test.pdb"
+  "formal_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

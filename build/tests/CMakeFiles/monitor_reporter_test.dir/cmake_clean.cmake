@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_reporter_test.dir/monitor_reporter_test.cpp.o"
+  "CMakeFiles/monitor_reporter_test.dir/monitor_reporter_test.cpp.o.d"
+  "monitor_reporter_test"
+  "monitor_reporter_test.pdb"
+  "monitor_reporter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_mutex_test.dir/native_mutex_test.cpp.o"
+  "CMakeFiles/native_mutex_test.dir/native_mutex_test.cpp.o.d"
+  "native_mutex_test"
+  "native_mutex_test.pdb"
+  "native_mutex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vthreads_test.dir/vthreads_test.cpp.o"
+  "CMakeFiles/vthreads_test.dir/vthreads_test.cpp.o.d"
+  "vthreads_test"
+  "vthreads_test.pdb"
+  "vthreads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vthreads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/locks_test[1]_include.cmake")
+include("/root/repo/build/tests/core_attributes_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/adapt_test[1]_include.cmake")
+include("/root/repo/build/tests/vthreads_test[1]_include.cmake")
+include("/root/repo/build/tests/native_mutex_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lock_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_reporter_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/formal_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_platform_test[1]_include.cmake")
