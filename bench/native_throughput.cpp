@@ -1,0 +1,229 @@
+// Native contended-throughput suite: real host threads hammering one
+// ConfigurableLock<NativePlatform> across scheduler kinds and waiting
+// policies, sweeping thread counts from 1 to max(16, 2 x hw_concurrency).
+//
+// This is the repo's perf trajectory anchor (ISSUE 1): it emits
+// BENCH_native_throughput.json (ops/sec plus p50/p99 acquire-wait latency
+// per cell) so successive PRs can be compared quantitatively. The paper's
+// tables measure *uncontended* cost on the simulator; this suite measures
+// what the paper could not: how the slow path scales when many real threads
+// collide on one lock.
+//
+// Knobs: RELOCK_NT_MS (measure window per cell, default 200),
+//        RELOCK_NT_MAX_THREADS (sweep ceiling, default max(16, 2*hw)).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/clock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace {
+
+using namespace relock;
+using NP = native::NativePlatform;
+using Lock = ConfigurableLock<NP>;
+
+struct PolicySpec {
+  const char* name;
+  LockAttributes attrs;
+};
+
+struct SchedSpec {
+  const char* name;
+  SchedulerKind kind;
+};
+
+struct CellResult {
+  std::uint32_t threads = 0;
+  const char* scheduler = nullptr;
+  const char* policy = nullptr;
+  double ops_per_sec = 0.0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t p50_wait_ns = 0;
+  std::uint64_t p99_wait_ns = 0;
+};
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr) return fallback;
+  const long long v = std::strtoll(e, nullptr, 10);
+  return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, unsigned pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx =
+      std::min(sorted.size() - 1, sorted.size() * pct / 100);
+  return sorted[idx];
+}
+
+/// One cell: `threads` threads loop {lock; tiny CS; unlock} for `window_ns`.
+/// The acquire-wait latency of every operation is sampled (capped per
+/// thread); preallocation keeps the measurement loop allocation-free.
+CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
+                    const PolicySpec& policy, Nanos window_ns) {
+  constexpr std::size_t kMaxSamplesPerThread = 1 << 16;
+
+  native::Domain domain;
+  Lock::Options opts;
+  opts.scheduler = sched.kind;
+  opts.attributes = policy.attrs;
+  Lock lock(domain, opts);
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint32_t> ready{0};
+  std::uint64_t shared_counter = 0;  // the protected datum
+
+  std::vector<std::uint64_t> ops(threads, 0);
+  std::vector<std::vector<std::uint64_t>> samples(threads);
+  for (auto& s : samples) s.reserve(kMaxSamplesPerThread);
+
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    team.emplace_back([&, i] {
+      native::Context ctx(domain);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t local_ops = 0;
+      auto& my_samples = samples[i];
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Nanos t0 = monotonic_now();
+        lock.lock(ctx);
+        const Nanos t1 = monotonic_now();
+        ++shared_counter;  // critical section: one cache line touch
+        lock.unlock(ctx);
+        ++local_ops;
+        if (my_samples.size() < kMaxSamplesPerThread) {
+          my_samples.push_back(t1 - t0);
+        }
+      }
+      ops[i] = local_ops;
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  const Nanos start = monotonic_now();
+  go.store(true, std::memory_order_release);
+  while (monotonic_now() - start < window_ns) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : team) t.join();
+  const Nanos elapsed = monotonic_now() - start;
+
+  CellResult r;
+  r.threads = threads;
+  r.scheduler = sched.name;
+  r.policy = policy.name;
+  std::vector<std::uint64_t> all;
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    r.total_ops += ops[i];
+    all.insert(all.end(), samples[i].begin(), samples[i].end());
+  }
+  std::sort(all.begin(), all.end());
+  r.p50_wait_ns = percentile(all, 50);
+  r.p99_wait_ns = percentile(all, 99);
+  r.ops_per_sec = elapsed == 0 ? 0.0
+                               : static_cast<double>(r.total_ops) * 1e9 /
+                                     static_cast<double>(elapsed);
+  // Consistency check: every operation incremented the protected counter
+  // exactly once, or mutual exclusion is broken and the numbers are lies.
+  if (shared_counter != r.total_ops) {
+    std::fprintf(stderr,
+                 "FATAL: lost updates (%llu ops vs %llu increments) in "
+                 "%u/%s/%s\n",
+                 static_cast<unsigned long long>(r.total_ops),
+                 static_cast<unsigned long long>(shared_counter), threads,
+                 sched.name, policy.name);
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t max_threads = static_cast<std::uint32_t>(
+      env_u64("RELOCK_NT_MAX_THREADS", std::max(16u, 2 * hw)));
+  const Nanos window_ns = env_u64("RELOCK_NT_MS", 200) * 1'000'000;
+
+  const SchedSpec scheds[] = {
+      {"none", SchedulerKind::kNone},
+      {"fcfs", SchedulerKind::kFcfs},
+      {"priority_queue", SchedulerKind::kPriorityQueue},
+      {"handoff", SchedulerKind::kHandoff},
+  };
+  const PolicySpec policies[] = {
+      {"spin", LockAttributes::spin()},
+      {"combined_100", LockAttributes::combined(100)},
+      {"blocking", LockAttributes::blocking()},
+  };
+
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t n = 1; n < max_threads; n *= 2) sweep.push_back(n);
+  sweep.push_back(max_threads);
+
+  std::printf("==============================================================================\n");
+  std::printf("Native throughput: contended lock/unlock on real host threads\n");
+  std::printf("hw_concurrency=%u  window=%llu ms/cell  sweep up to %u threads\n",
+              hw, static_cast<unsigned long long>(window_ns / 1'000'000),
+              max_threads);
+  std::printf("==============================================================================\n");
+  std::printf("%8s %-16s %-14s %14s %12s %12s\n", "threads", "scheduler",
+              "policy", "ops/sec", "p50_wait_us", "p99_wait_us");
+
+  std::vector<CellResult> results;
+  for (const std::uint32_t n : sweep) {
+    for (const SchedSpec& sc : scheds) {
+      for (const PolicySpec& po : policies) {
+        const CellResult r = run_cell(n, sc, po, window_ns);
+        std::printf("%8u %-16s %-14s %14.0f %12.1f %12.1f\n", r.threads,
+                    r.scheduler, r.policy, r.ops_per_sec,
+                    static_cast<double>(r.p50_wait_ns) / 1000.0,
+                    static_cast<double>(r.p99_wait_ns) / 1000.0);
+        std::fflush(stdout);
+        results.push_back(r);
+      }
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_native_throughput.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_native_throughput.json");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"native_throughput\",\n");
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"window_ms_per_cell\": %llu,\n",
+               static_cast<unsigned long long>(window_ns / 1'000'000));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"scheduler\": \"%s\", \"policy\": "
+                 "\"%s\", \"ops_per_sec\": %.1f, \"total_ops\": %llu, "
+                 "\"p50_wait_ns\": %llu, \"p99_wait_ns\": %llu}%s\n",
+                 r.threads, r.scheduler, r.policy, r.ops_per_sec,
+                 static_cast<unsigned long long>(r.total_ops),
+                 static_cast<unsigned long long>(r.p50_wait_ns),
+                 static_cast<unsigned long long>(r.p99_wait_ns),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_native_throughput.json (%zu cells)\n",
+              results.size());
+  return 0;
+}

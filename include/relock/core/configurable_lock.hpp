@@ -23,13 +23,25 @@
 // frees the state word and wakes all sleepers (paper section 4.3.2: "wakes
 // up a specific thread or all the sleeping threads depending on the release
 // policy").
+//
+// Contended-arrival design on real-concurrency platforms (kRealConcurrency):
+// arriving waiters do NOT take the meta guard. Each pushes its stack-resident
+// WaiterRecord onto a lock-free MPSC arrival stack with a single exchange on
+// the arrivals word; the release module - already serialized by meta - drains
+// the stack into the scheduler queue before selecting a grant. Registration
+// therefore stays "the cost of one write operation" even under contention,
+// and the meta guard degenerates to a release-side-only lock. On simulated
+// platforms every word access has a calibrated cost and the meta-guarded
+// arrival path is kept verbatim so the reproduction tables stay byte-stable.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +56,30 @@ namespace relock {
 
 template <Platform P>
 class ConfigurableLock {
+  /// Stand-in for the arrivals word on platforms that keep the meta-guarded
+  /// arrival path: allocating a real platform word there would shift the
+  /// simulator's round-robin cell placement for every later allocation and
+  /// perturb the calibrated tables.
+  struct NoArrivalsWord {
+    explicit NoArrivalsWord(typename P::Domain&, std::uint64_t = 0,
+                            Placement = Placement::any()) {}
+  };
+  using ArrivalsWord = std::conditional_t<kRealConcurrency<P>,
+                                          typename P::Word, NoArrivalsWord>;
+
+  /// One per-thread waiting-policy override slot (kRealConcurrency only):
+  /// written under meta, read lock-free by registering threads with a
+  /// per-slot seqlock. Fields are relaxed atomics so concurrent torn-read
+  /// candidates are data-race-free; the seq word makes them consistent.
+  struct AttrSlot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> spin{0};
+    std::atomic<Nanos> delay{0};
+    std::atomic<Nanos> sleep{0};
+    std::atomic<Nanos> timeout{0};
+    std::atomic<bool> valid{false};
+  };
+
  public:
   using Ctx = typename P::Context;
   using Domain = typename P::Domain;
@@ -88,6 +124,7 @@ class ConfigurableLock {
         registry_(domain, 0, opts.placement),
         possess_word_(domain, 0, opts.placement),
         mailbox_(domain, 0, opts.placement),
+        arrivals_(domain, 0, opts.placement),
         scheduler_(make_scheduler<P>(opts.scheduler)),
         scheduler_kind_(opts.scheduler) {
     store_attrs(opts.attributes);
@@ -283,15 +320,46 @@ class ConfigurableLock {
   /// attributes.
   void set_thread_attributes(Ctx& ctx, ThreadId tid, LockAttributes attrs) {
     meta_lock(ctx);
-    thread_attrs_[tid] = attrs;
-    has_thread_attrs_.store(true, std::memory_order_relaxed);
+    if constexpr (kRealConcurrency<P>) {
+      // Flat slot array indexed by ThreadId, published once via an atomic
+      // pointer. Registering threads read it without the meta guard (the
+      // seed's map lookup forced every arrival through meta); writers here
+      // still serialize on meta and version each slot seqlock-style.
+      AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
+      if (slots == nullptr) {
+        attr_slot_storage_ =
+            std::make_unique<AttrSlot[]>(domain_.capacity());
+        slots = attr_slot_storage_.get();
+        attr_slots_.store(slots, std::memory_order_release);
+      }
+      assert(tid < domain_.capacity());
+      AttrSlot& s = slots[tid];
+      if (!s.valid.load(std::memory_order_relaxed)) ++attr_override_count_;
+      slot_write(s, attrs, /*valid=*/true);
+      has_thread_attrs_.store(attr_override_count_ != 0,
+                              std::memory_order_relaxed);
+    } else {
+      thread_attrs_[tid] = attrs;
+      has_thread_attrs_.store(true, std::memory_order_relaxed);
+    }
     meta_unlock(ctx);
   }
   void clear_thread_attributes(Ctx& ctx, ThreadId tid) {
     meta_lock(ctx);
-    thread_attrs_.erase(tid);
-    has_thread_attrs_.store(!thread_attrs_.empty(),
-                            std::memory_order_relaxed);
+    if constexpr (kRealConcurrency<P>) {
+      AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
+      if (slots != nullptr && tid < domain_.capacity() &&
+          slots[tid].valid.load(std::memory_order_relaxed)) {
+        --attr_override_count_;
+        slot_write(slots[tid], LockAttributes{}, /*valid=*/false);
+      }
+      has_thread_attrs_.store(attr_override_count_ != 0,
+                              std::memory_order_relaxed);
+    } else {
+      thread_attrs_.erase(tid);
+      has_thread_attrs_.store(!thread_attrs_.empty(),
+                              std::memory_order_relaxed);
+    }
     meta_unlock(ctx);
   }
 
@@ -407,13 +475,40 @@ class ConfigurableLock {
   // TTAS: probe with cheap reads, RMW only when the guard looks free -
   // spinning with RMWs would serialize on the (expensive) atomic path of
   // the lock's home memory module.
+  //
+  // On real-concurrency platforms failed probes escalate: a few PAUSEs,
+  // then bounded exponential busy-delays (so colliding threads de-phase
+  // instead of hammering the guard line), then yields (so an oversubscribed
+  // processor reaches the guard holder at all). The simulator keeps the
+  // seed's pure TTAS loop: its pauses are costed events and the calibrated
+  // tables depend on the exact access sequence.
   void meta_lock(Ctx& ctx) {
-    for (;;) {
-      if (P::load_relaxed(ctx, meta_) == 0 &&
-          P::fetch_or(ctx, meta_, 1) == 0) {
-        return;
+    if constexpr (kRealConcurrency<P>) {
+      BackoffSchedule backoff(BackoffSchedule::Params{
+          kMetaBackoffInitialNs, kMetaBackoffCapNs, 2});
+      std::uint32_t failed = 0;
+      for (;;) {
+        if (P::load_relaxed(ctx, meta_) == 0 &&
+            P::fetch_or(ctx, meta_, 1) == 0) {
+          return;
+        }
+        ++failed;
+        if (failed <= kMetaPureSpins) {
+          P::pause(ctx);
+        } else if (failed <= kMetaPureSpins + kMetaBackoffRounds) {
+          P::delay(ctx, backoff.next());
+        } else {
+          P::yield(ctx);
+        }
       }
-      P::pause(ctx);
+    } else {
+      for (;;) {
+        if (P::load_relaxed(ctx, meta_) == 0 &&
+            P::fetch_or(ctx, meta_, 1) == 0) {
+          return;
+        }
+        P::pause(ctx);
+      }
     }
   }
   void meta_unlock(Ctx& ctx) { P::store(ctx, meta_, 0); }
@@ -434,14 +529,52 @@ class ConfigurableLock {
   }
 
   /// Effective attributes for a registering thread: the per-thread override
-  /// if one exists (checked under meta by the caller when the flag is set),
-  /// else the lock-wide attributes.
+  /// if one exists, else the lock-wide attributes. On real-concurrency
+  /// platforms this reads the flat slot array and is safe without the meta
+  /// guard (seqlock-validated); on simulated platforms the caller holds
+  /// meta and the map is consulted directly.
   [[nodiscard]] LockAttributes effective_attrs_for(ThreadId tid) {
-    if (has_thread_attrs_.load(std::memory_order_relaxed)) {
+    if (!has_thread_attrs_.load(std::memory_order_relaxed)) {
+      return load_attrs();
+    }
+    if constexpr (kRealConcurrency<P>) {
+      AttrSlot* slots = attr_slots_.load(std::memory_order_acquire);
+      if (slots == nullptr || tid >= domain_.capacity()) return load_attrs();
+      AttrSlot& s = slots[tid];
+      for (;;) {
+        const std::uint32_t v1 = s.seq.load(std::memory_order_acquire);
+        if ((v1 & 1u) != 0) continue;  // write in flight
+        const bool valid = s.valid.load(std::memory_order_relaxed);
+        const LockAttributes a{s.spin.load(std::memory_order_relaxed),
+                               s.delay.load(std::memory_order_relaxed),
+                               s.sleep.load(std::memory_order_relaxed),
+                               s.timeout.load(std::memory_order_relaxed)};
+        // Fence-free validation: the RMW's release half keeps the field
+        // loads above from sinking past it. Uncontended - each thread reads
+        // only its own slot; only a rare configuration write collides.
+        if (s.seq.fetch_add(0, std::memory_order_acq_rel) == v1) {
+          return valid ? a : load_attrs();
+        }
+      }
+    } else {
       auto it = thread_attrs_.find(tid);  // caller holds meta
       if (it != thread_attrs_.end()) return it->second;
+      return load_attrs();
     }
-    return load_attrs();
+  }
+
+  /// Seqlock slot write. Caller holds meta (single writer per slot). The
+  /// opening exchange's acquire half keeps the field stores after the odd
+  /// sequence value becomes visible (fence-free for TSan builds).
+  static void slot_write(AttrSlot& s, const LockAttributes& a, bool valid) {
+    const std::uint32_t v0 = s.seq.load(std::memory_order_relaxed);
+    (void)s.seq.exchange(v0 + 1, std::memory_order_acq_rel);
+    s.spin.store(a.spin_count, std::memory_order_relaxed);
+    s.delay.store(a.delay_ns, std::memory_order_relaxed);
+    s.sleep.store(a.sleep_ns, std::memory_order_relaxed);
+    s.timeout.store(a.timeout_ns, std::memory_order_relaxed);
+    s.valid.store(valid, std::memory_order_relaxed);
+    s.seq.store(v0 + 2, std::memory_order_release);
   }
 
   [[nodiscard]] static bool policy_may_sleep(const LockAttributes& a,
@@ -476,56 +609,159 @@ class ConfigurableLock {
     // configure operation pairs with).
     (void)P::load(ctx, config_word_);
 
-    meta_lock(ctx);
+    if constexpr (kRealConcurrency<P>) {
+      // Contended arrival without the meta guard: scheduled waiters publish
+      // themselves on the lock-free arrival stack; centralized waiters go
+      // straight to the TTAS waiting engine. The kind read is advisory - a
+      // racing reconfiguration is absorbed by the release module (drained
+      // records whose scheduler vanished park on the orphan queue).
+      if (arrival_target_kind() != SchedulerKind::kNone) {
+        return acquire_scheduled_lockfree(ctx, timeout_override, t0);
+      }
+      return acquire_centralized_lockfree(ctx, timeout_override, t0);
+    } else {
+      meta_lock(ctx);
+      LockAttributes attrs = effective_attrs_for(ctx.self());
+      if (timeout_override != 0) attrs.timeout_ns = timeout_override;
+      const Nanos deadline =
+          attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+
+      // Re-check under meta: the lock may have been freed meanwhile. The
+      // RMW keeps us correct against fast-path acquirers who do not take
+      // meta.
+      if (!shared && P::fetch_or(ctx, state_, 1) == 0) {
+        holders_ = 1;
+        meta_unlock(ctx);
+        on_acquired_exclusive(ctx, /*contended=*/true, t0);
+        return true;
+      }
+
+      Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
+                                 ? pending_scheduler_.get()
+                                 : scheduler_.get();
+      if (target != nullptr) {
+        WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                            grant_flag_placement(ctx), shared,
+                            policy_may_sleep(attrs, opts_.advisory));
+        rec.enqueue_time = t0;
+        rec.registered_with = target;
+        target->enqueue(rec);
+        waiter_count_.fetch_add(1, std::memory_order_relaxed);
+        meta_unlock(ctx);
+
+        const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
+        if (r == WaitResult::kGranted) {
+          waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+          on_granted(ctx, shared, t0);
+          return true;
+        }
+        // Timeout: resolve the race with a concurrent grant under meta.
+        meta_lock(ctx);
+        if (rec.granted_flag_host) {
+          meta_unlock(ctx);
+          waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+          on_granted(ctx, shared, t0);
+          return true;
+        }
+        withdraw(rec);
+        meta_unlock(ctx);
+        waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+        monitor_.on_timeout();
+        return false;
+      }
+
+      // Centralized barging mode (SchedulerKind::kNone).
+      meta_unlock(ctx);
+      const WaitResult r = wait_centralized(ctx, attrs, deadline);
+      if (r == WaitResult::kGranted) {
+        on_acquired_exclusive(ctx, /*contended=*/true, t0);
+        return true;
+      }
+      monitor_.on_timeout();
+      return false;
+    }
+  }
+
+  /// Kind the next arrival will register under (advisory, lock-free read).
+  [[nodiscard]] SchedulerKind arrival_target_kind() const noexcept {
+    return has_pending_.load(std::memory_order_relaxed)
+               ? pending_kind_.load(std::memory_order_relaxed)
+               : scheduler_kind_.load(std::memory_order_relaxed);
+  }
+
+  /// Scheduled contended arrival, kRealConcurrency only. The record is
+  /// published with one exchange on the arrivals word; the release module
+  /// (serialized under meta) later drains it into the scheduler queue.
+  bool acquire_scheduled_lockfree(Ctx& ctx, Nanos timeout_override,
+                                  Nanos t0) {
     LockAttributes attrs = effective_attrs_for(ctx.self());
     if (timeout_override != 0) attrs.timeout_ns = timeout_override;
     const Nanos deadline =
         attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
 
-    // Re-check under meta: the lock may have been freed meanwhile. The RMW
-    // keeps us correct against fast-path acquirers who do not take meta.
-    if (!shared && P::fetch_or(ctx, state_, 1) == 0) {
-      holders_ = 1;
+    WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                        grant_flag_placement(ctx), /*shared=*/false,
+                        policy_may_sleep(attrs, opts_.advisory));
+    rec.enqueue_time = t0;
+    // Push: mark the link in flight, swing the head, then publish the old
+    // head as our link. A drain observing kArrivalLinkPending spins the
+    // two-instruction gap.
+    rec.arrival_next.store(kArrivalLinkPending, std::memory_order_relaxed);
+    const std::uint64_t prev = P::exchange(
+        ctx, arrivals_,
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&rec)));
+    rec.arrival_next.store(static_cast<std::uintptr_t>(prev),
+                           std::memory_order_release);
+    waiter_count_.fetch_add(1, std::memory_order_relaxed);
+
+    // Lost-release guard: a releaser that drained before our push may have
+    // published the lock free and left. Our push was an RMW on the arrivals
+    // word and the releaser re-checks it with an RMW after publishing free,
+    // so at least one side observes the other: if we see the free state, we
+    // close the gate and run the release module ourselves.
+    if (P::load(ctx, state_) == 0 && P::fetch_or(ctx, state_, 1) == 0) {
+      meta_lock(ctx);
+      grant_or_free(ctx, kInvalidThread);  // drains arrivals, may grant us
+    }
+
+    const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
+    if (r == WaitResult::kGranted) {
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, /*shared=*/false, t0);
+      return true;
+    }
+    // Timeout. The record may still be chained on the arrival stack (its
+    // memory is this frame): drain under meta so it is registered, then
+    // resolve the grant race and withdraw.
+    meta_lock(ctx);
+    drain_arrivals(ctx);
+    if (rec.granted_flag_host) {
       meta_unlock(ctx);
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, /*shared=*/false, t0);
+      return true;
+    }
+    withdraw(rec);
+    meta_unlock(ctx);
+    waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+    monitor_.on_timeout();
+    return false;
+  }
+
+  /// Centralized (SchedulerKind::kNone) contended arrival, kRealConcurrency
+  /// only: no registration structure to protect, so no meta at all on the
+  /// way in - one barging retry, then the TTAS waiting engine.
+  bool acquire_centralized_lockfree(Ctx& ctx, Nanos timeout_override,
+                                    Nanos t0) {
+    LockAttributes attrs = effective_attrs_for(ctx.self());
+    if (timeout_override != 0) attrs.timeout_ns = timeout_override;
+    const Nanos deadline =
+        attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+
+    if (P::fetch_or(ctx, state_, 1) == 0) {
       on_acquired_exclusive(ctx, /*contended=*/true, t0);
       return true;
     }
-
-    Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
-                               ? pending_scheduler_.get()
-                               : scheduler_.get();
-    if (target != nullptr) {
-      WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
-                          grant_flag_placement(ctx), shared,
-                          policy_may_sleep(attrs, opts_.advisory));
-      rec.enqueue_time = t0;
-      target->enqueue(rec);
-      waiter_count_.fetch_add(1, std::memory_order_relaxed);
-      meta_unlock(ctx);
-
-      const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
-      if (r == WaitResult::kGranted) {
-        waiter_count_.fetch_sub(1, std::memory_order_relaxed);
-        on_granted(ctx, shared, t0);
-        return true;
-      }
-      // Timeout: resolve the race with a concurrent grant under meta.
-      meta_lock(ctx);
-      if (rec.granted_flag_host) {
-        meta_unlock(ctx);
-        waiter_count_.fetch_sub(1, std::memory_order_relaxed);
-        on_granted(ctx, shared, t0);
-        return true;
-      }
-      target->remove(rec);
-      meta_unlock(ctx);
-      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
-      monitor_.on_timeout();
-      return false;
-    }
-
-    // Centralized barging mode (SchedulerKind::kNone).
-    meta_unlock(ctx);
     const WaitResult r = wait_centralized(ctx, attrs, deadline);
     if (r == WaitResult::kGranted) {
       on_acquired_exclusive(ctx, /*contended=*/true, t0);
@@ -535,6 +771,65 @@ class ConfigurableLock {
     return false;
   }
 
+  /// Meta held. Moves every record on the lock-free arrival stack into the
+  /// module new arrivals register under (pending during a configuration
+  /// delay, else current), preserving arrival order; with no module
+  /// (reconfigured to kNone after the push) records park on the orphan
+  /// queue, which the release module serves FIFO before consulting any
+  /// scheduler.
+  void drain_arrivals(Ctx& ctx) {
+    std::uintptr_t head =
+        static_cast<std::uintptr_t>(P::exchange(ctx, arrivals_, 0));
+    if (head == 0) return;
+    // The stack is LIFO; reverse in place (reusing arrival_next) so
+    // registration happens in arrival order.
+    WaiterRecord<P>* reversed = nullptr;
+    auto* rec = reinterpret_cast<WaiterRecord<P>*>(head);
+    while (rec != nullptr) {
+      std::uintptr_t next =
+          rec->arrival_next.load(std::memory_order_acquire);
+      std::uint32_t spins = 0;
+      while (next == kArrivalLinkPending) {
+        // Producer is between its exchange and its link store; on an
+        // oversubscribed processor it may even be preempted there.
+        if (++spins > kSpinsBeforeYield) P::yield(ctx); else P::pause(ctx);
+        next = rec->arrival_next.load(std::memory_order_acquire);
+      }
+      rec->arrival_next.store(reinterpret_cast<std::uintptr_t>(reversed),
+                              std::memory_order_relaxed);
+      reversed = rec;
+      rec = reinterpret_cast<WaiterRecord<P>*>(next);
+    }
+    Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
+                               ? pending_scheduler_.get()
+                               : scheduler_.get();
+    for (WaiterRecord<P>* w = reversed; w != nullptr;) {
+      auto* next = reinterpret_cast<WaiterRecord<P>*>(
+          w->arrival_next.load(std::memory_order_relaxed));
+      w->arrival_next.store(0, std::memory_order_relaxed);
+      if (target != nullptr) {
+        w->registered_with = target;
+        target->enqueue(*w);
+      } else {
+        w->registered_with = nullptr;
+        orphans_.push_back(*w);
+      }
+      w = next;
+    }
+  }
+
+  /// Meta held. Removes a timed-out record from wherever it is registered:
+  /// the scheduler module that actually enqueued it (which may no longer be
+  /// the current one after a reconfiguration), or the orphan queue.
+  void withdraw(WaiterRecord<P>& rec) {
+    if (rec.registered_with != nullptr) {
+      rec.registered_with->remove(rec);
+      rec.registered_with = nullptr;
+    } else {
+      orphans_.remove(rec);
+    }
+  }
+
   [[nodiscard]] Placement grant_flag_placement(Ctx& ctx) const {
     return opts_.wait_placement == WaitPlacement::kWaiterLocal
                ? Placement::on(P::home_node(ctx))
@@ -542,6 +837,22 @@ class ConfigurableLock {
   }
 
   // --------------------------------------------- the waiting engine ------
+
+  /// One polite failed-probe step. On real-concurrency platforms a long
+  /// streak escalates from PAUSE to yielding the processor: with more
+  /// waiters than processors, burning the quantum on PAUSE delays the very
+  /// thread that must release or hand off the lock (the all-spin FCFS cells
+  /// of bench/native_throughput.cpp collapse by ~100x without this). The
+  /// simulator's pause is a costed event and keeps the seed behaviour.
+  static void spin_step(Ctx& ctx, std::uint32_t& streak) {
+    if constexpr (kRealConcurrency<P>) {
+      if (++streak >= kSpinsBeforeYield) {
+        P::yield(ctx);
+        return;
+      }
+    }
+    P::pause(ctx);
+  }
 
   /// Waits for this waiter's grant flag according to the waiting policy:
   /// rounds of a spin phase followed by a sleep phase ("a thread spins and
@@ -555,6 +866,7 @@ class ConfigurableLock {
     BackoffSchedule backoff(BackoffSchedule::Params{
         attrs.delay_ns != 0 ? attrs.delay_ns : 1,
         attrs.sleep_ns > 0 ? attrs.delay_ns : attrs.delay_ns * 16, 2});
+    std::uint32_t streak = 0;
     for (;;) {
       std::uint32_t probes = attrs.spin_count;
       Nanos sleep_ns = attrs.sleep_ns;
@@ -570,14 +882,14 @@ class ConfigurableLock {
         if (attrs.delay_ns != 0) {
           P::delay(ctx, backoff.next());
         } else {
-          P::pause(ctx);
+          spin_step(ctx, streak);
         }
         if (probes != kInfiniteSpins) ++i;
       }
 
       // Sleep phase.
       if (sleep_ns == 0) {
-        if (probes == 0) P::pause(ctx);  // degenerate (0,_,0,_): poll
+        if (probes == 0) spin_step(ctx, streak);  // degenerate (0,_,0,_)
         continue;
       }
       if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
@@ -613,6 +925,18 @@ class ConfigurableLock {
     WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
                         grant_flag_placement(ctx), /*shared=*/false,
                         policy_may_sleep(attrs, opts_.advisory));
+    // A barging waiter is a waiter even while it spins: count it for the
+    // whole wait so state() can report kIdle (free with waiting threads,
+    // Figure 4). The seed counted only the sleep phase, so an all-spin
+    // centralized lock under-reported and state() returned kUnlocked.
+    struct CountGuard {
+      std::atomic<std::uint32_t>& count;
+      explicit CountGuard(std::atomic<std::uint32_t>& c) : count(c) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+      ~CountGuard() { count.fetch_sub(1, std::memory_order_relaxed); }
+    } count_guard{waiter_count_};
+    std::uint32_t streak = 0;
     for (;;) {
       std::uint32_t probes = attrs.spin_count;
       Nanos sleep_ns = attrs.sleep_ns;
@@ -630,13 +954,13 @@ class ConfigurableLock {
         if (attrs.delay_ns != 0) {
           P::delay(ctx, backoff.next());
         } else {
-          P::pause(ctx);
+          spin_step(ctx, streak);
         }
         if (probes != kInfiniteSpins) ++i;
       }
 
       if (sleep_ns == 0) {
-        if (probes == 0) P::pause(ctx);
+        if (probes == 0) spin_step(ctx, streak);
         continue;
       }
 
@@ -648,7 +972,6 @@ class ConfigurableLock {
         return WaitResult::kGranted;
       }
       sleepers_.push_back(rec);
-      waiter_count_.fetch_add(1, std::memory_order_relaxed);
       meta_unlock(ctx);
       monitor_.on_block();
       if (sleep_ns == kForever && deadline == kForever) {
@@ -669,7 +992,6 @@ class ConfigurableLock {
       meta_lock(ctx);
       sleepers_.remove(rec);  // no-op if the releaser already popped us
       meta_unlock(ctx);
-      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
       if (deadline != kForever && P::now(ctx) >= deadline) {
         return WaitResult::kTimedOut;
       }
@@ -728,61 +1050,94 @@ class ConfigurableLock {
     grant_or_free(ctx, hint);  // releases meta
   }
 
-  /// Runs the release module: installs a pending scheduler if the old one
-  /// has drained, selects the next grant batch, and either hands the lock
-  /// off or publishes it as free. Expects meta held; releases it.
+  /// Runs the release module: drains lock-free arrivals, installs a pending
+  /// scheduler if the old one has drained, selects the next grant batch,
+  /// and either hands the lock off or publishes it as free. Expects meta
+  /// held; releases it.
+  ///
+  /// Allocation-free in steady state (asserted by release_alloc_test): the
+  /// wake list lives in a fixed stack array and the grant batch reuses the
+  /// lock's scratch instance. The wake list must be local - once meta is
+  /// released another thread may release again concurrently - so overflow
+  /// wakes (giant reader batches) are issued while meta is still held:
+  /// correct, just a longer guard hold on a path that is rare by
+  /// construction.
   void grant_or_free(Ctx& ctx, ThreadId hint) {
-    if (scheduler_ != nullptr && scheduler_->empty() &&
-        has_pending_.load(std::memory_order_relaxed)) {
-      install_pending(ctx);
-    }
-    grant_scratch_.clear();
-    if (scheduler_ != nullptr) {
-      scheduler_->select(grant_scratch_, hint);
-    }
-
-    // Wake list must be local: once meta is released another thread may
-    // release again concurrently.
-    std::vector<ThreadId> to_wake;
-
-    if (grant_scratch_.empty()) {
-      // Nobody eligible: publish free and wake sleeping barging waiters.
-      P::store(ctx, state_, 0);
-      sleepers_.for_each([&](WaiterRecord<P>& w) {
-        sleepers_.remove(w);
-        to_wake.push_back(w.tid);
-        return true;
-      });
-      meta_unlock(ctx);
-      for (const ThreadId tid : to_wake) {
-        monitor_.on_wakeup();
+    ThreadId wake_buf[kWakeInline];
+    std::size_t wake_count = 0;
+    const auto queue_wake = [&](ThreadId tid) {
+      monitor_.on_wakeup();
+      if (wake_count < kWakeInline) {
+        wake_buf[wake_count++] = tid;
+      } else {
         P::unblock(ctx, tid);
       }
-      return;
-    }
+    };
 
-    // Direct handoff: the state word stays held.
-    const bool shared_grant = grant_scratch_.front()->shared;
-    holders_ = static_cast<std::uint32_t>(grant_scratch_.size());
-    writer_held_ = !shared_grant;
-    assert(shared_grant || holders_ == 1);
-    if (!shared_grant) {
-      P::store(ctx, owner_,
-               static_cast<std::uint64_t>(grant_scratch_.front()->tid) + 1);
+    for (;;) {
+      if constexpr (kRealConcurrency<P>) drain_arrivals(ctx);
+      if (scheduler_ != nullptr && scheduler_->empty() &&
+          has_pending_.load(std::memory_order_relaxed)) {
+        install_pending(ctx);
+      }
+      grant_scratch_.clear();
+      // Orphans first, FIFO: waiters drained while no scheduler module was
+      // current (reconfigured to kNone mid-arrival) precede any module's
+      // choice so they cannot be stranded behind it.
+      if (WaiterRecord<P>* orphan = orphans_.front()) {
+        orphans_.remove(*orphan);
+        grant_scratch_.push_back(orphan);
+      } else if (scheduler_ != nullptr) {
+        scheduler_->select(grant_scratch_, hint);
+      }
+
+      if (grant_scratch_.empty()) {
+        // Nobody eligible: publish free and wake sleeping barging waiters.
+        P::store(ctx, state_, 0);
+        sleepers_.for_each([&](WaiterRecord<P>& w) {
+          sleepers_.remove(w);
+          queue_wake(w.tid);
+          return true;
+        });
+        if constexpr (kRealConcurrency<P>) {
+          // Mirror of the arrival path's lost-release guard: re-examine the
+          // arrival stack with an RMW after publishing free. A waiter whose
+          // push raced our drain either sees the free state itself or is
+          // seen here; if seen, re-close the gate and serve it.
+          if (P::fetch_add(ctx, arrivals_, 0) != 0 &&
+              P::fetch_or(ctx, state_, 1) == 0) {
+            hint = kInvalidThread;
+            continue;
+          }
+        }
+        meta_unlock(ctx);
+        break;
+      }
+
+      // Direct handoff: the state word stays held.
+      const bool shared_grant = grant_scratch_.front()->shared;
+      holders_ = static_cast<std::uint32_t>(grant_scratch_.size());
+      writer_held_ = !shared_grant;
+      assert(shared_grant || holders_ == 1);
+      if (!shared_grant) {
+        P::store(ctx, owner_,
+                 static_cast<std::uint64_t>(grant_scratch_.front()->tid) + 1);
+      }
+      for (WaiterRecord<P>* w : grant_scratch_) {
+        w->registered_with = nullptr;
+        w->granted_flag_host = true;
+        monitor_.on_handoff();
+        if (w->may_sleep) queue_wake(w->tid);
+        P::store(ctx, w->granted, 1);
+        // After this store the record (on the waiter's stack) may disappear
+        // once meta is released; only the captured tids are used below.
+      }
+      grant_scratch_.clear();  // drop dangling pointers before leaving meta
+      meta_unlock(ctx);
+      break;
     }
-    for (WaiterRecord<P>* w : grant_scratch_) {
-      w->granted_flag_host = true;
-      monitor_.on_handoff();
-      if (w->may_sleep) to_wake.push_back(w->tid);
-      P::store(ctx, w->granted, 1);
-      // After this store the record (on the waiter's stack) may disappear
-      // once meta is released; only the captured tids are used below.
-    }
-    grant_scratch_.clear();  // drop dangling pointers before leaving meta
-    meta_unlock(ctx);
-    for (const ThreadId tid : to_wake) {
-      monitor_.on_wakeup();
-      P::unblock(ctx, tid);
+    for (std::size_t i = 0; i < wake_count; ++i) {
+      P::unblock(ctx, wake_buf[i]);
     }
   }
 
@@ -801,11 +1156,33 @@ class ConfigurableLock {
     P::store(ctx, sched_rel_, code);                    // W3: release
     P::store(ctx, sched_flag_, 1);                      // W4: delay flag on
     meta_lock(ctx);
+    if constexpr (kRealConcurrency<P>) {
+      // In-flight lock-free arrivals registered before this configuration:
+      // drain them now so they land in the outgoing module and are served
+      // under the configuration-delay rule, like the seed's meta-guarded
+      // arrivals.
+      drain_arrivals(ctx);
+    }
+    if (pending_scheduler_ != nullptr) {
+      // Stacked reconfiguration: a previous pending module was never
+      // installed. Migrate its registered waiters (to the incoming module,
+      // or the orphan queue when switching to kNone) instead of destroying
+      // them with it.
+      while (WaiterRecord<P>* w = pending_scheduler_->pop_any()) {
+        if (fresh != nullptr) {
+          w->registered_with = fresh.get();
+          fresh->enqueue(*w);
+        } else {
+          w->registered_with = nullptr;
+          orphans_.push_back(*w);
+        }
+      }
+    }
     pending_scheduler_ = std::move(fresh);
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_rw_preference(opts_.rw_preference);
     }
-    pending_kind_ = kind;
+    pending_kind_.store(kind, std::memory_order_relaxed);
     has_pending_.store(true, std::memory_order_relaxed);
     const bool immediate = scheduler_ == nullptr || scheduler_->empty();
     if (immediate) install_pending(ctx);                // W5: flag reset
@@ -816,7 +1193,8 @@ class ConfigurableLock {
   /// performs the deferred flag-reset write (the 5th W of 1R5W).
   void install_pending(Ctx& ctx) {
     scheduler_ = std::move(pending_scheduler_);
-    scheduler_kind_.store(pending_kind_, std::memory_order_relaxed);
+    scheduler_kind_.store(pending_kind_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     has_pending_.store(false, std::memory_order_relaxed);
     P::store(ctx, sched_flag_, 0);
   }
@@ -890,6 +1268,7 @@ class ConfigurableLock {
                         grant_flag_placement(ctx), shared,
                         policy_may_sleep(attrs, opts_.advisory));
     rec.enqueue_time = t0;
+    rec.registered_with = target;
     target->enqueue(rec);
     waiter_count_.fetch_add(1, std::memory_order_relaxed);
     meta_unlock(ctx);
@@ -907,7 +1286,7 @@ class ConfigurableLock {
       on_granted(ctx, shared, t0);
       return true;
     }
-    target->remove(rec);
+    withdraw(rec);
     meta_unlock(ctx);
     waiter_count_.fetch_sub(1, std::memory_order_relaxed);
     monitor_.on_timeout();
@@ -1008,6 +1387,19 @@ class ConfigurableLock {
   /// How long before the owner's announced release waiters resume spinning.
   static constexpr Nanos kAdviceSpinMargin = 60'000;
 
+  // Real-concurrency tuning (used only when kRealConcurrency<P>).
+  /// Failed probes tolerated (grant-flag spins, pending-arrival-link waits)
+  /// before escalating from PAUSE to yielding the processor.
+  static constexpr std::uint32_t kSpinsBeforeYield = 64;
+  /// meta_lock escalation: PAUSE probes, then bounded-exponential busy
+  /// delays, then yields.
+  static constexpr std::uint32_t kMetaPureSpins = 4;
+  static constexpr std::uint32_t kMetaBackoffRounds = 8;
+  static constexpr Nanos kMetaBackoffInitialNs = 64;
+  static constexpr Nanos kMetaBackoffCapNs = 4096;
+  /// Release-path wake list capacity; overflow wakes are issued under meta.
+  static constexpr std::size_t kWakeInline = 16;
+
   Domain& domain_;
   Options opts_;
 
@@ -1024,6 +1416,10 @@ class ConfigurableLock {
   typename P::Word registry_;     ///< last registrant tid+1
   typename P::Word possess_word_; ///< attribute possession bits
   typename P::Word mailbox_;      ///< active-lock doorbell
+  /// Head of the lock-free MPSC arrival stack (WaiterRecord*, 0 = empty).
+  /// A real platform word only on kRealConcurrency platforms; elsewhere an
+  /// empty stand-in (see NoArrivalsWord).
+  ArrivalsWord arrivals_;
 
   // Waiting-policy attributes (semantic values, host side).
   std::atomic<std::uint32_t> attr_spin_{kInfiniteSpins};
@@ -1036,7 +1432,7 @@ class ConfigurableLock {
   std::unique_ptr<Scheduler<P>> scheduler_;
   std::unique_ptr<Scheduler<P>> pending_scheduler_;
   std::atomic<SchedulerKind> scheduler_kind_;
-  SchedulerKind pending_kind_ = SchedulerKind::kNone;
+  std::atomic<SchedulerKind> pending_kind_{SchedulerKind::kNone};
   std::atomic<bool> has_pending_{false};
 
   // Holder state (guarded by meta on slow paths; fast path uses state_).
@@ -1044,14 +1440,20 @@ class ConfigurableLock {
   bool writer_held_ = false;    ///< RW mode only
 
   WaiterQueue<P> sleepers_;     ///< centralized-mode sleeping waiters (meta)
+  WaiterQueue<P> orphans_;      ///< drained arrivals with no module (meta)
   GrantBatch<P> grant_scratch_; ///< reused strictly under meta
 
   // Owner-only bookkeeping.
   std::uint32_t recursion_depth_ = 0;
   Nanos acquire_time_ = 0;
 
-  // Per-thread waiting-policy overrides (meta).
+  // Per-thread waiting-policy overrides. Simulated platforms: map, guarded
+  // by meta. kRealConcurrency platforms: lazily allocated flat slot array
+  // indexed by ThreadId, written under meta, read lock-free.
   std::unordered_map<ThreadId, LockAttributes> thread_attrs_;
+  std::unique_ptr<AttrSlot[]> attr_slot_storage_;  ///< owner (meta)
+  std::atomic<AttrSlot*> attr_slots_{nullptr};     ///< lock-free view
+  std::uint32_t attr_override_count_ = 0;          ///< valid slots (meta)
   std::atomic<bool> has_thread_attrs_{false};
 
   // Active-lock machinery.

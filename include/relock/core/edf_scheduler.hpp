@@ -42,6 +42,11 @@ class EdfScheduler final : public Scheduler<P> {
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
   }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
+  }
 
  private:
   WaiterQueue<P> queue_;

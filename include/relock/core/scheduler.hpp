@@ -20,8 +20,70 @@ namespace relock {
 
 /// The set of waiters granted by one release. A single writer, or - for the
 /// reader-writer scheduler - a batch of readers.
+///
+/// Small-inline container: the first kInline grants live in embedded
+/// storage; only an oversized reader batch touches the spill vector, whose
+/// capacity is retained across clear(). Reused instances therefore make the
+/// steady-state release path allocation-free (ISSUE 1 tentpole; asserted by
+/// tests/release_alloc_test.cpp).
 template <Platform P>
-using GrantBatch = std::vector<WaiterRecord<P>*>;
+class GrantBatch {
+ public:
+  using value_type = WaiterRecord<P>*;
+  static constexpr std::size_t kInline = 8;
+
+  void push_back(value_type w) {
+    if (size_ < kInline) {
+      inline_[size_] = w;
+    } else {
+      spill_.push_back(w);
+    }
+    ++size_;
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    spill_.clear();  // capacity retained
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] value_type front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] value_type operator[](std::size_t i) const noexcept {
+    return i < kInline ? inline_[i] : spill_[i - kInline];
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const GrantBatch* b, std::size_t i) noexcept
+        : b_(b), i_(i) {}
+    value_type operator*() const noexcept { return (*b_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    friend bool operator!=(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const GrantBatch* b_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, size_);
+  }
+
+ private:
+  value_type inline_[kInline] = {};
+  std::vector<value_type> spill_;
+  std::size_t size_ = 0;
+};
 
 template <Platform P>
 class Scheduler {
@@ -43,6 +105,12 @@ class Scheduler {
 
   [[nodiscard]] virtual bool empty() const noexcept = 0;
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Unlinks and returns any one registered waiter (nullptr when empty).
+  /// The lock uses this to migrate still-queued waiters when a pending
+  /// scheduler module is replaced before it was installed (stacked
+  /// reconfiguration); records left on the replaced module would dangle.
+  [[nodiscard]] virtual WaiterRecord<P>* pop_any() noexcept = 0;
 
   // Priority-threshold parameters (no-ops for other kinds).
   virtual void set_threshold(Priority) {}
@@ -73,6 +141,11 @@ class FcfsScheduler final : public Scheduler<P> {
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
+  }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
   }
 
  private:
@@ -105,6 +178,11 @@ class PriorityQueueScheduler final : public Scheduler<P> {
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
+  }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
   }
 
  private:
@@ -143,6 +221,11 @@ class PriorityThresholdScheduler final : public Scheduler<P> {
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
+  }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
   }
   void set_threshold(Priority p) override { threshold_ = p; }
   [[nodiscard]] Priority threshold() const noexcept override {
@@ -186,6 +269,11 @@ class HandoffScheduler final : public Scheduler<P> {
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
+  }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
   }
 
  private:
@@ -261,6 +349,11 @@ class ReaderWriterScheduler final : public Scheduler<P> {
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
     return queue_.size();
+  }
+  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
+    WaiterRecord<P>* w = queue_.front();
+    if (w != nullptr) queue_.remove(*w);
+    return w;
   }
   void set_rw_preference(RwPreference p) override { pref_ = p; }
 

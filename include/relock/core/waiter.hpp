@@ -13,6 +13,14 @@
 namespace relock {
 
 template <Platform P>
+class Scheduler;
+
+/// Sentinel for WaiterRecord::arrival_next: the push's link store is still
+/// in flight (the drain spins the microscopic gap between the producer's
+/// exchange and its link write). 0 terminates the chain.
+inline constexpr std::uintptr_t kArrivalLinkPending = 1;
+
+template <Platform P>
 struct WaiterRecord {
   WaiterRecord(typename P::Domain& domain, ThreadId tid_, Priority priority_,
                Placement flag_placement, bool shared_, bool may_sleep_)
@@ -39,6 +47,18 @@ struct WaiterRecord {
   bool granted_flag_host = false;
 
   Nanos enqueue_time = 0;
+
+  /// The scheduler module this record was registered with (set under the
+  /// lock's meta guard). Timeout withdrawal must remove the record from the
+  /// module that actually holds it — the lock may have been reconfigured
+  /// (and a different module made current) while the thread waited.
+  /// nullptr while unregistered, or when parked on the lock's orphan queue.
+  Scheduler<P>* registered_with = nullptr;
+
+  /// Lock-free arrival chain link (kRealConcurrency platforms): holds the
+  /// previous arrival-stack head as a uintptr, kArrivalLinkPending until
+  /// the producer's post-exchange store lands, 0 at the end of the chain.
+  std::atomic<std::uintptr_t> arrival_next{0};
 
   // Intrusive doubly-linked queue node, guarded by the lock's meta word.
   WaiterRecord* prev = nullptr;

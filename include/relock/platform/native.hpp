@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -54,18 +55,23 @@ class Domain {
  public:
   explicit Domain(std::uint32_t max_threads = 1024)
       : slots_(max_threads) {
-    for (auto& s : slots_) s->store(nullptr, std::memory_order_relaxed);
+    free_.reserve(max_threads);
   }
   Domain(const Domain&) = delete;
   Domain& operator=(const Domain&) = delete;
 
   /// Wakes the thread registered as `tid` (no-op token deposit if it is not
-  /// currently parked). Precondition: `tid` is registered.
+  /// currently parked). Safe against the target unregistering concurrently:
+  /// the slot mutex pins the Parker for the duration of the signal, and a
+  /// slot that already emptied makes this a no-op. That matters because a
+  /// releaser publishes the grant word first and signals after - the grantee
+  /// can consume the grant without ever parking, return, and tear down its
+  /// Context before the (now redundant) wake lands.
   void unpark(ThreadId tid) {
     assert(tid < slots_.size());
-    Parker* p = slots_[tid]->load(std::memory_order_acquire);
-    assert(p != nullptr && "unpark of unregistered thread");
-    p->unpark();
+    Slot& slot = *slots_[tid];
+    std::lock_guard<std::mutex> lk(slot.mu);
+    if (Parker* p = slot.parker) p->unpark();
   }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept {
@@ -80,29 +86,56 @@ class Domain {
  private:
   friend class Context;
 
+  // O(1) id assignment: recycled ids first (keeps ids dense), then the
+  // high-water counter for never-used slots. Replaces a linear scan that
+  // was O(capacity) per registration under the mutex — quadratic when
+  // spawning a large team.
   ThreadId register_thread(Parker& parker) {
     std::lock_guard<std::mutex> lk(mu_);
-    // Prefer never-used slots, then recycle.
-    for (ThreadId id = 0; id < slots_.size(); ++id) {
-      if (slots_[id]->load(std::memory_order_relaxed) == nullptr) {
-        slots_[id]->store(&parker, std::memory_order_release);
-        ++live_;
-        return id;
-      }
+    ThreadId id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else if (next_fresh_ < slots_.size()) {
+      id = next_fresh_++;
+    } else {
+      throw std::length_error("relock: Domain thread capacity exhausted");
     }
-    assert(false && "Domain thread capacity exhausted");
-    return kInvalidThread;
+    {
+      std::lock_guard<std::mutex> slk(slots_[id]->mu);
+      slots_[id]->parker = &parker;
+    }
+    ++live_;
+    return id;
   }
 
+  // Lock order is registry mu_ -> slot mu (unpark takes only the slot mu,
+  // so there is no cycle). Once this returns, no unpark can reach the
+  // Parker: any in-flight signal finished before the slot mutex was
+  // re-acquired here, making Context destruction safe.
   void unregister_thread(ThreadId id) {
     std::lock_guard<std::mutex> lk(mu_);
-    slots_[id]->store(nullptr, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> slk(slots_[id]->mu);
+      slots_[id]->parker = nullptr;
+    }
+    free_.push_back(id);
     --live_;
   }
 
+  // Parker pointer plus the mutex that serializes wakes against the owning
+  // thread's unregistration. Padded so wakes of different threads do not
+  // false-share.
+  struct Slot {
+    std::mutex mu;
+    Parker* parker = nullptr;
+  };
+
   mutable std::mutex mu_;
   std::uint32_t live_ = 0;
-  std::vector<CachePadded<std::atomic<Parker*>>> slots_;
+  ThreadId next_fresh_ = 0;
+  std::vector<ThreadId> free_;
+  std::vector<CachePadded<Slot>> slots_;
 };
 
 inline Context::Context(Domain& domain, Priority priority)
@@ -133,6 +166,10 @@ struct NativePlatform {
   using Context = native::Context;
   using Word = native::Word;
   using Domain = native::Domain;
+
+  /// Real hardware concurrency, no calibrated cost model: lock algorithms
+  /// may use contention optimisations (see kRealConcurrency in platform.hpp).
+  static constexpr bool kRealConcurrency = true;
 
   static std::uint64_t load(Context&, const Word& w) noexcept {
     return w.v.load(std::memory_order_acquire);

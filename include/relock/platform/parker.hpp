@@ -39,12 +39,14 @@ class Parker {
     return got;
   }
 
-  /// Deposits a token and wakes the parked thread if any.
+  /// Deposits a token and wakes the parked thread if any. The notify runs
+  /// under the mutex: a woken parker cannot re-acquire it (and so cannot
+  /// return and destroy this Parker) until the signaler has fully left the
+  /// condition variable - destruction right after park() returns is safe.
+  /// Linux wait-morphing makes the held-lock notify free of extra wakeups.
   void unpark() {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      token_ = true;
-    }
+    std::lock_guard<std::mutex> lk(mu_);
+    token_ = true;
     cv_.notify_one();
   }
 

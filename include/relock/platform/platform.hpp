@@ -59,4 +59,20 @@ concept Platform = requires(typename P::Context& ctx,
 };
 // clang-format on
 
+/// True for platforms whose threads run with real hardware concurrency and
+/// whose word operations are *not* part of a calibrated cost model (today:
+/// the native platform). Lock algorithms use this to enable contention
+/// optimisations — the lock-free arrival stack, meta-guard backoff, and
+/// yield-escalating spin waits — that would otherwise perturb the
+/// simulator's calibrated access counts (EXPERIMENTS.md Tables 2-5 must
+/// stay byte-identical) or fight a cooperative scheduler.
+template <typename P>
+inline constexpr bool kRealConcurrency = [] {
+  if constexpr (requires { P::kRealConcurrency; }) {
+    return static_cast<bool>(P::kRealConcurrency);
+  } else {
+    return false;
+  }
+}();
+
 }  // namespace relock

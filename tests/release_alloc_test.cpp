@@ -1,0 +1,127 @@
+// Asserts the release module is allocation-free in steady state: after a
+// short warm-up (lazy scratch growth, thread spawning), a measurement
+// window of contended lock/unlock cycles must execute ZERO heap
+// allocations. Global operator new/delete are replaced with counting
+// versions, which is why this suite lives in its own test binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace relock {
+namespace {
+
+using native::NativePlatform;
+using Lock = ConfigurableLock<NativePlatform>;
+
+// Phases: 0 = warm-up, 1 = measuring, 2 = done.
+void run_zero_alloc_window(Lock& lock, native::Domain& dom,
+                           const LockAttributes& attrs) {
+  std::atomic<int> phase{0};
+  std::atomic<std::uint64_t> window_ops{0};
+  constexpr unsigned kWorkers = 4;
+
+  {
+    native::Context ctx(dom);
+    lock.configure_waiting(ctx, attrs);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&] {
+      native::Context ctx(dom);
+      std::uint64_t in_window = 0;
+      for (;;) {
+        const int ph = phase.load(std::memory_order_acquire);
+        if (ph == 2) break;
+        lock.lock(ctx);
+        lock.unlock(ctx);
+        if (ph == 1) ++in_window;
+      }
+      window_ops.fetch_add(in_window, std::memory_order_relaxed);
+    });
+  }
+
+  // Warm-up: grow any lazily-sized scratch (GrantBatch spill capacity,
+  // parker init) before counting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::uint64_t before = g_allocations.load(std::memory_order_acquire);
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::uint64_t after = g_allocations.load(std::memory_order_acquire);
+  phase.store(2, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(after - before, 0u)
+      << "heap allocations during steady-state lock/unlock window";
+  EXPECT_GT(window_ops.load(), 0u);
+}
+
+TEST(ReleaseAllocation, FcfsSpinSteadyStateIsAllocationFree) {
+  native::Domain dom(16);
+  Lock lock(dom, {.scheduler = SchedulerKind::kFcfs});
+  run_zero_alloc_window(lock, dom, LockAttributes::spin());
+}
+
+TEST(ReleaseAllocation, FcfsBlockingSteadyStateIsAllocationFree) {
+  native::Domain dom(16);
+  Lock lock(dom, {.scheduler = SchedulerKind::kFcfs});
+  run_zero_alloc_window(lock, dom, LockAttributes::blocking());
+}
+
+TEST(ReleaseAllocation, CentralizedSteadyStateIsAllocationFree) {
+  native::Domain dom(16);
+  Lock lock(dom, {.scheduler = SchedulerKind::kNone});
+  run_zero_alloc_window(lock, dom, LockAttributes::combined(200));
+}
+
+}  // namespace
+}  // namespace relock
