@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff a native_throughput JSON against a committed baseline.
+
+Usage:
+    diff_baseline.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+Compares ops/sec cell by cell (matched on threads/scheduler/policy; cells
+present in only one file are reported and skipped). A cell regresses when
+
+    current_ops < baseline_ops * tolerance
+
+The default tolerance is deliberately generous (0.25: flag only a 4x drop):
+contended cells on a shared CI box measure scheduler rotation as much as
+the lock, and run-to-run variance of 2-3x is normal there. The job exists
+to catch order-of-magnitude collapses (a convoy, a lost-wakeup spin storm),
+not single-digit percentages. Cells whose `oversubscribed` tags differ
+between the two files are skipped: the regimes are not comparable.
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def cell_key(cell):
+    return (cell["threads"], cell["scheduler"], cell["policy"])
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {cell_key(c): c for c in doc["results"]}, doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="fail when current < baseline * TOLERANCE")
+    args = ap.parse_args()
+
+    current, cur_doc = load_cells(args.current)
+    baseline, base_doc = load_cells(args.baseline)
+
+    if cur_doc.get("hw_concurrency") != base_doc.get("hw_concurrency"):
+        print(f"note: hw_concurrency differs "
+              f"(current={cur_doc.get('hw_concurrency')} "
+              f"baseline={base_doc.get('hw_concurrency')}); "
+              f"comparison is indicative only")
+
+    regressions = []
+    compared = 0
+    for key in sorted(baseline.keys() & current.keys()):
+        cur, base = current[key], baseline[key]
+        if ("oversubscribed" in cur and "oversubscribed" in base
+                and cur["oversubscribed"] != base["oversubscribed"]):
+            print(f"skip {key}: oversubscription regime differs")
+            continue
+        compared += 1
+        ratio = (cur["ops_per_sec"] / base["ops_per_sec"]
+                 if base["ops_per_sec"] > 0 else float("inf"))
+        status = "OK"
+        if cur["ops_per_sec"] < base["ops_per_sec"] * args.tolerance:
+            status = "REGRESSION"
+            regressions.append(key)
+        threads, sched, policy = key
+        print(f"{status:>10}  {threads:>3} {sched:<16} {policy:<14} "
+              f"{base['ops_per_sec']:>14.0f} -> {cur['ops_per_sec']:>14.0f} "
+              f"({ratio:5.2f}x)")
+
+    for key in sorted(baseline.keys() - current.keys()):
+        print(f"      MISS  {key} present only in baseline")
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"       NEW  {key} present only in current")
+
+    print(f"\n{compared} cells compared, {len(regressions)} regression(s), "
+          f"tolerance {args.tolerance}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,16 @@
 //
 // Knobs: RELOCK_NT_MS (measure window per cell, default 200),
 //        RELOCK_NT_MAX_THREADS (sweep ceiling, default max(16, 2*hw)).
+// Modes: --smoke   reduced sweep (1/2/4 threads, fewer cells, 100 ms
+//                  windows unless RELOCK_NT_MS overrides) for CI, where the
+//                  JSON is diffed against bench/baselines/.
+//
+// Every cell records the concurrency it actually ran at: `hw_concurrency`
+// is the host's processor count and each result carries `oversubscribed`,
+// true when the cell's team outnumbered the processors (the domain's own
+// census, the same one spin policies consult). Contended numbers from an
+// oversubscribed cell measure scheduler rotation as much as the lock, and
+// must only be compared against baselines with the same flag.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -48,6 +58,7 @@ struct CellResult {
   std::uint64_t total_ops = 0;
   std::uint64_t p50_wait_ns = 0;
   std::uint64_t p99_wait_ns = 0;
+  bool oversubscribed = false;  ///< team outnumbered the host's processors
 };
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
@@ -113,6 +124,9 @@ CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
   while (ready.load(std::memory_order_acquire) != threads) {
     std::this_thread::yield();
   }
+  // The whole team is registered: sample the domain's own oversubscription
+  // census (what the lock's spin policies consult) for this cell's tag.
+  const bool oversubscribed = domain.oversubscribed();
   const Nanos start = monotonic_now();
   go.store(true, std::memory_order_release);
   while (monotonic_now() - start < window_ns) {
@@ -126,6 +140,7 @@ CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
   r.threads = threads;
   r.scheduler = sched.name;
   r.policy = policy.name;
+  r.oversubscribed = oversubscribed;
   std::vector<std::uint64_t> all;
   for (std::uint32_t i = 0; i < threads; ++i) {
     r.total_ops += ops[i];
@@ -153,23 +168,33 @@ CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
   const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::uint32_t max_threads = static_cast<std::uint32_t>(
-      env_u64("RELOCK_NT_MAX_THREADS", std::max(16u, 2 * hw)));
-  const Nanos window_ns = env_u64("RELOCK_NT_MS", 200) * 1'000'000;
+  const std::uint32_t max_threads = static_cast<std::uint32_t>(env_u64(
+      "RELOCK_NT_MAX_THREADS", smoke ? 4u : std::max(16u, 2 * hw)));
+  const Nanos window_ns =
+      env_u64("RELOCK_NT_MS", smoke ? 100 : 200) * 1'000'000;
 
-  const SchedSpec scheds[] = {
-      {"none", SchedulerKind::kNone},
-      {"fcfs", SchedulerKind::kFcfs},
-      {"priority_queue", SchedulerKind::kPriorityQueue},
-      {"handoff", SchedulerKind::kHandoff},
-  };
-  const PolicySpec policies[] = {
-      {"spin", LockAttributes::spin()},
-      {"combined_100", LockAttributes::combined(100)},
-      {"blocking", LockAttributes::blocking()},
-  };
+  const std::vector<SchedSpec> scheds =
+      smoke ? std::vector<SchedSpec>{{"none", SchedulerKind::kNone},
+                                     {"fcfs", SchedulerKind::kFcfs},
+                                     {"handoff", SchedulerKind::kHandoff}}
+            : std::vector<SchedSpec>{
+                  {"none", SchedulerKind::kNone},
+                  {"fcfs", SchedulerKind::kFcfs},
+                  {"priority_queue", SchedulerKind::kPriorityQueue},
+                  {"handoff", SchedulerKind::kHandoff}};
+  const std::vector<PolicySpec> policies =
+      smoke ? std::vector<PolicySpec>{{"spin", LockAttributes::spin()},
+                                      {"blocking", LockAttributes::blocking()}}
+            : std::vector<PolicySpec>{
+                  {"spin", LockAttributes::spin()},
+                  {"combined_100", LockAttributes::combined(100)},
+                  {"blocking", LockAttributes::blocking()}};
 
   std::vector<std::uint32_t> sweep;
   for (std::uint32_t n = 1; n < max_threads; n *= 2) sweep.push_back(n);
@@ -177,22 +202,23 @@ int main() {
 
   std::printf("==============================================================================\n");
   std::printf("Native throughput: contended lock/unlock on real host threads\n");
-  std::printf("hw_concurrency=%u  window=%llu ms/cell  sweep up to %u threads\n",
+  std::printf("hw_concurrency=%u  window=%llu ms/cell  sweep up to %u threads%s\n",
               hw, static_cast<unsigned long long>(window_ns / 1'000'000),
-              max_threads);
+              max_threads, smoke ? "  [smoke]" : "");
   std::printf("==============================================================================\n");
-  std::printf("%8s %-16s %-14s %14s %12s %12s\n", "threads", "scheduler",
-              "policy", "ops/sec", "p50_wait_us", "p99_wait_us");
+  std::printf("%8s %-16s %-14s %14s %12s %12s %8s\n", "threads", "scheduler",
+              "policy", "ops/sec", "p50_wait_us", "p99_wait_us", "oversub");
 
   std::vector<CellResult> results;
   for (const std::uint32_t n : sweep) {
     for (const SchedSpec& sc : scheds) {
       for (const PolicySpec& po : policies) {
         const CellResult r = run_cell(n, sc, po, window_ns);
-        std::printf("%8u %-16s %-14s %14.0f %12.1f %12.1f\n", r.threads,
+        std::printf("%8u %-16s %-14s %14.0f %12.1f %12.1f %8s\n", r.threads,
                     r.scheduler, r.policy, r.ops_per_sec,
                     static_cast<double>(r.p50_wait_ns) / 1000.0,
-                    static_cast<double>(r.p99_wait_ns) / 1000.0);
+                    static_cast<double>(r.p99_wait_ns) / 1000.0,
+                    r.oversubscribed ? "yes" : "no");
         std::fflush(stdout);
         results.push_back(r);
       }
@@ -206,6 +232,7 @@ int main() {
   }
   std::fprintf(f, "{\n  \"bench\": \"native_throughput\",\n");
   std::fprintf(f, "  \"hw_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"window_ms_per_cell\": %llu,\n",
                static_cast<unsigned long long>(window_ns / 1'000'000));
   std::fprintf(f, "  \"results\": [\n");
@@ -214,11 +241,13 @@ int main() {
     std::fprintf(f,
                  "    {\"threads\": %u, \"scheduler\": \"%s\", \"policy\": "
                  "\"%s\", \"ops_per_sec\": %.1f, \"total_ops\": %llu, "
-                 "\"p50_wait_ns\": %llu, \"p99_wait_ns\": %llu}%s\n",
+                 "\"p50_wait_ns\": %llu, \"p99_wait_ns\": %llu, "
+                 "\"oversubscribed\": %s}%s\n",
                  r.threads, r.scheduler, r.policy, r.ops_per_sec,
                  static_cast<unsigned long long>(r.total_ops),
                  static_cast<unsigned long long>(r.p50_wait_ns),
                  static_cast<unsigned long long>(r.p99_wait_ns),
+                 r.oversubscribed ? "true" : "false",
                  i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");

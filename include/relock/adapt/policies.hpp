@@ -56,16 +56,20 @@ struct StatsDelta {
   d.contended = cur.contended_acquisitions - prev.contended_acquisitions;
   d.blocks = cur.blocks - prev.blocks;
   d.timeouts = cur.timeouts - prev.timeouts;
-  const std::uint64_t rel = cur.releases - prev.releases;
+  // Duration means are per timed sample: real-concurrency platforms time
+  // a 1-in-N sample of operations (see LockMonitor::timing_sample), so the
+  // sums must be normalized by the sample counts, not the event counts.
+  const std::uint64_t held = cur.timed_holds - prev.timed_holds;
   d.mean_hold_ns =
-      rel == 0 ? 0.0
-               : static_cast<double>(cur.total_hold_ns - prev.total_hold_ns) /
-                     static_cast<double>(rel);
+      held == 0 ? 0.0
+                : static_cast<double>(cur.total_hold_ns - prev.total_hold_ns) /
+                      static_cast<double>(held);
+  const std::uint64_t waited = cur.timed_waits - prev.timed_waits;
   d.mean_wait_ns =
-      d.contended == 0
+      waited == 0
           ? 0.0
           : static_cast<double>(cur.total_wait_ns - prev.total_wait_ns) /
-                static_cast<double>(d.contended);
+                static_cast<double>(waited);
   return d;
 }
 

@@ -33,6 +33,25 @@
 // and the meta guard degenerates to a release-side-only lock. On simulated
 // platforms every word access has a calibrated cost and the meta-guarded
 // arrival path is kept verbatim so the reproduction tables stay byte-stable.
+//
+// Contended-release design (kRealConcurrency, the configuration-quiescence
+// epoch): the steady-state contended release does not take the meta guard
+// either. Two observations make that safe. First, the release module is
+// only ever executed by a thread that owns the state word - the previous
+// holder, or a thread that won it from free - and the direct-handoff path
+// never publishes the word free, so module ownership passes hand to hand
+// along the grant chain. Second, every *configuration* operation
+// (reconfiguration, possession, threshold change, scheduler swap, timeout
+// withdrawal) announces itself on a host-side breaker count and waits for
+// in-flight fast releases to drain (a Dekker handshake with the releaser's
+// in-flight count) before mutating anything under meta; a releaser that
+// observes a breaker falls back to the guarded slow path - exactly the
+// paper's configuration-delay semantics. While quiescent, the releaser
+// consults a pre-computed successor cached in `next_grant_` (selected at
+// the previous release; re-validated against the scheduler's version
+// counter for priority-sensitive kinds) and publishes ownership with a
+// single store to the successor's waiter-local grant flag. See
+// DESIGN.md "The configuration-quiescence epoch".
 #pragma once
 
 #include <algorithm>
@@ -159,7 +178,13 @@ class ConfigurableLock {
       return true;
     }
     if (P::fetch_or(ctx, state_, 1) == 0) {
-      on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
+      if constexpr (kRealConcurrency<P>) {
+        on_acquired_exclusive(
+            ctx, /*contended=*/false,
+            monitor_.enabled() && monitor_.timing_sample() ? P::now(ctx) : 0);
+      } else {
+        on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
+      }
       return true;
     }
     return false;
@@ -185,10 +210,29 @@ class ConfigurableLock {
       --recursion_depth_;
       return;
     }
-    monitor_.on_release(P::now(ctx) - acquire_time_);
-    if (opts_.execution == Execution::kActive && serving_.load()) {
-      post_release(ctx, hint, /*shared=*/false);
-      return;
+    if constexpr (kRealConcurrency<P>) {
+      // Clock elision: the hold-time pair feeds only the monitor, so with
+      // the monitor off the release path makes no clock read at all. With
+      // it on, only acquisitions that drew a timing sample (acquire_time_
+      // nonzero) pay the read here; the rest just count the release.
+      if (monitor_.enabled()) {
+        if (acquire_time_ != 0) {
+          monitor_.on_release(P::now(ctx) - acquire_time_);
+        } else {
+          monitor_.on_release();
+        }
+      }
+      if (opts_.execution == Execution::kActive && serving_.load()) {
+        post_release(ctx, hint, /*shared=*/false);
+        return;
+      }
+      if (release_fast(ctx, hint)) return;
+    } else {
+      monitor_.on_release(P::now(ctx) - acquire_time_);
+      if (opts_.execution == Execution::kActive && serving_.load()) {
+        post_release(ctx, hint, /*shared=*/false);
+        return;
+      }
     }
     release(ctx, hint, /*shared=*/false);
   }
@@ -237,7 +281,13 @@ class ConfigurableLock {
   /// agent can reconfigure it. Cost: one test-and-set (paper Table 6).
   bool try_possess(Ctx& ctx, AttributeClass c) {
     const auto bit = static_cast<std::uint64_t>(c);
-    return (P::fetch_or(ctx, possess_word_, bit) & bit) == 0;
+    const bool won = (P::fetch_or(ctx, possess_word_, bit) & bit) == 0;
+    if constexpr (kRealConcurrency<P>) {
+      // Possession opens a reconfiguration window: breaks the quiescence
+      // epoch so releasers stay on the guarded path until it is released.
+      if (won) quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    return won;
   }
   void possess(Ctx& ctx, AttributeClass c) {
     while (!try_possess(ctx, c)) {
@@ -245,7 +295,13 @@ class ConfigurableLock {
     }
   }
   void release_possession(Ctx& ctx, AttributeClass c) {
-    P::fetch_and(ctx, possess_word_, ~static_cast<std::uint64_t>(c));
+    const auto bit = static_cast<std::uint64_t>(c);
+    const std::uint64_t prev = P::fetch_and(ctx, possess_word_, ~bit);
+    if constexpr (kRealConcurrency<P>) {
+      if ((prev & bit) != 0) {
+        quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
   }
 
   /// Changes the waiting policy attributes. Cost: one read + one write of
@@ -254,6 +310,7 @@ class ConfigurableLock {
   /// Takes effect for subsequent acquisitions; in-flight waiters keep the
   /// policy they registered with.
   void configure_waiting(Ctx& ctx, LockAttributes attrs) {
+    QuiesceGuard quiesce(ctx, *this);
     (void)P::load(ctx, config_word_);
     store_attrs(attrs);
     P::store(ctx, config_word_, config_version_.fetch_add(1) + 1);
@@ -287,7 +344,11 @@ class ConfigurableLock {
   /// lowering the threshold re-runs grant selection so newly eligible
   /// waiters are served.
   void set_priority_threshold(Ctx& ctx, Priority threshold) {
+    QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
+    // A fast release may have pre-dequeued the next grantee; return it so
+    // the threshold applies to it too and the empty() probe below is real.
+    reclaim_next_grant();
     if (scheduler_ != nullptr) scheduler_->set_threshold(threshold);
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_threshold(threshold);
@@ -304,6 +365,7 @@ class ConfigurableLock {
   }
 
   void set_rw_preference(Ctx& ctx, RwPreference pref) {
+    QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
     opts_.rw_preference = pref;
     if (scheduler_ != nullptr) scheduler_->set_rw_preference(pref);
@@ -319,6 +381,7 @@ class ConfigurableLock {
   /// section 3.2). Threads with an override use it instead of the lock-wide
   /// attributes.
   void set_thread_attributes(Ctx& ctx, ThreadId tid, LockAttributes attrs) {
+    QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
     if constexpr (kRealConcurrency<P>) {
       // Flat slot array indexed by ThreadId, published once via an atomic
@@ -345,6 +408,7 @@ class ConfigurableLock {
     meta_unlock(ctx);
   }
   void clear_thread_attributes(Ctx& ctx, ThreadId tid) {
+    QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
     if constexpr (kRealConcurrency<P>) {
       AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
@@ -592,7 +656,16 @@ class ConfigurableLock {
       ++recursion_depth_;
       return true;
     }
-    const Nanos t0 = P::now(ctx);
+    Nanos t0;
+    if constexpr (kRealConcurrency<P>) {
+      // Clock elision: the timestamp feeds only monitor statistics and
+      // timeout deadlines. With the monitor off - or for operations outside
+      // the 1-in-N timing sample - skip the read; a timeout waiter re-reads
+      // the clock lazily (0 marks "not taken").
+      t0 = monitor_.enabled() && monitor_.timing_sample() ? P::now(ctx) : 0;
+    } else {
+      t0 = P::now(ctx);
+    }
     // Fast path: one RMW, like a primitive spin lock (paper Table 2).
     if (P::fetch_or(ctx, state_, 1) == 0) {
       on_acquired_exclusive(ctx, /*contended=*/false, t0);
@@ -696,13 +769,31 @@ class ConfigurableLock {
                                   Nanos t0) {
     LockAttributes attrs = effective_attrs_for(ctx.self());
     if (timeout_override != 0) attrs.timeout_ns = timeout_override;
-    const Nanos deadline =
-        attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+    Nanos deadline = kForever;
+    if (attrs.timeout_ns != 0) {
+      deadline = (t0 != 0 ? t0 : P::now(ctx)) + attrs.timeout_ns;
+    }
 
+    // Oversubscription escalation: with more live threads than processors a
+    // spinning waiter mostly burns the quantum of the very thread that must
+    // hand it the lock, so even spin-policy waiters register as sleepable
+    // (grants will signal them) and the waiting engine may park them after a
+    // yield streak. The flag is latched at registration: a waiter that
+    // registered non-sleepable never parks, even if the domain becomes
+    // oversubscribed mid-wait, because its grant would not wake it.
     WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
                         grant_flag_placement(ctx), /*shared=*/false,
-                        policy_may_sleep(attrs, opts_.advisory));
+                        policy_may_sleep(attrs, opts_.advisory) ||
+                            P::oversubscribed(ctx));
     rec.enqueue_time = t0;
+    // A record that may be withdrawn off-queue must never be granted (or
+    // pre-selected) by a fast release racing the withdrawal: conditional
+    // waiters break the quiescence epoch for their entire wait. Armed
+    // BEFORE the arrival push, so any fast release that could select this
+    // record either sees the breaker and stands down, or is already in
+    // flight and is waited out by the timeout resolution below.
+    BreakerToken breaker;
+    if (deadline != kForever) breaker.arm(*this);
     // Push: mark the link in flight, swing the head, then publish the old
     // head as our link. A drain observing kArrivalLinkPending spins the
     // two-instruction gap.
@@ -731,17 +822,27 @@ class ConfigurableLock {
       return true;
     }
     // Timeout. The record may still be chained on the arrival stack (its
-    // memory is this frame): drain under meta so it is registered, then
-    // resolve the grant race and withdraw.
+    // memory is this frame): wait out any fast release that started before
+    // our breaker was armed (it may have drained, granted, or cached the
+    // record), then drain under meta so the record is registered, then
+    // resolve the grant race and withdraw. The fast path never sets the
+    // host-side flag, so the waiter-local grant flag is re-checked too.
     meta_lock(ctx);
+    wait_fast_releases(ctx);
     drain_arrivals(ctx);
-    if (rec.granted_flag_host) {
+    if (rec.granted_flag_host || P::load(ctx, rec.granted) != 0) {
       meta_unlock(ctx);
       waiter_count_.fetch_sub(1, std::memory_order_relaxed);
       on_granted(ctx, /*shared=*/false, t0);
       return true;
     }
-    withdraw(rec);
+    if (next_grant_.load(std::memory_order_relaxed) == &rec) {
+      // A pre-breaker fast release pre-selected us as the next grantee;
+      // the record is on no queue, just empty the cache.
+      next_grant_.store(nullptr, std::memory_order_relaxed);
+    } else {
+      withdraw(rec);
+    }
     meta_unlock(ctx);
     waiter_count_.fetch_sub(1, std::memory_order_relaxed);
     monitor_.on_timeout();
@@ -755,8 +856,10 @@ class ConfigurableLock {
                                     Nanos t0) {
     LockAttributes attrs = effective_attrs_for(ctx.self());
     if (timeout_override != 0) attrs.timeout_ns = timeout_override;
-    const Nanos deadline =
-        attrs.timeout_ns != 0 ? t0 + attrs.timeout_ns : kForever;
+    Nanos deadline = kForever;
+    if (attrs.timeout_ns != 0) {
+      deadline = (t0 != 0 ? t0 : P::now(ctx)) + attrs.timeout_ns;
+    }
 
     if (P::fetch_or(ctx, state_, 1) == 0) {
       on_acquired_exclusive(ctx, /*contended=*/true, t0);
@@ -846,7 +949,12 @@ class ConfigurableLock {
   /// simulator's pause is a costed event and keeps the seed behaviour.
   static void spin_step(Ctx& ctx, std::uint32_t& streak) {
     if constexpr (kRealConcurrency<P>) {
-      if (++streak >= kSpinsBeforeYield) {
+      // With more live threads than processors, a PAUSE streak mostly burns
+      // the quantum the grant-holder needs: give way much sooner.
+      const std::uint32_t limit = P::oversubscribed(ctx)
+                                      ? kSpinsBeforeYieldOversubscribed
+                                      : kSpinsBeforeYield;
+      if (++streak >= limit) {
         P::yield(ctx);
         return;
       }
@@ -882,7 +990,30 @@ class ConfigurableLock {
         if (attrs.delay_ns != 0) {
           P::delay(ctx, backoff.next());
         } else {
-          spin_step(ctx, streak);
+          bool parked = false;
+          if constexpr (kRealConcurrency<P>) {
+            // Oversubscription escalation: a policy with no sleep phase of
+            // its own parks - in place of further yields - once the streak
+            // shows the grant-holder is not being scheduled; every yield a
+            // doomed spinner takes steals a quantum from the thread that
+            // must produce the grant. Only records registered sleepable may
+            // park (their grant signals the parker; the token protocol
+            // absorbs a grant landing between the check and the park).
+            if (sleep_ns == 0 && rec.may_sleep &&
+                streak >= kStreakBeforeParkOversubscribed &&
+                P::oversubscribed(ctx)) {
+              parked = true;
+              monitor_.on_block();
+              if (deadline == kForever) {
+                P::block(ctx);
+              } else {
+                const Nanos now = P::now(ctx);
+                if (now >= deadline) return WaitResult::kTimedOut;
+                (void)P::block_for(ctx, deadline - now);
+              }
+            }
+          }
+          if (!parked) spin_step(ctx, streak);
         }
         if (probes != kInfiniteSpins) ++i;
       }
@@ -1031,6 +1162,226 @@ class ConfigurableLock {
     if (probes == kInfiniteSpins) probes = kAdviceChunk;
   }
 
+  // -------------------------------- configuration-quiescence epoch -------
+  // kRealConcurrency only (the simulator has no fast release; all of this
+  // is discarded or a no-op there). Protocol: a fast releaser increments
+  // its in-flight count then checks the breaker count; a configuration
+  // operation increments the breaker count then waits for in-flight
+  // releases to drain. Both sides use sequentially consistent RMWs/loads
+  // (Dekker), so at least one observes the other: either the releaser
+  // stands down onto the guarded path, or the breaker waits it out and
+  // then sees all its module mutations.
+
+  /// Spins until every in-flight fast release has retired. Meaningful only
+  /// while the breaker count is nonzero (else new fast releases start).
+  void wait_fast_releases(Ctx& ctx) {
+    if constexpr (kRealConcurrency<P>) {
+      std::uint32_t streak = 0;
+      while (fast_releases_inflight_.load(std::memory_order_acquire) != 0) {
+        spin_step(ctx, streak);
+      }
+    } else {
+      (void)ctx;
+    }
+  }
+
+  /// RAII configuration breaker: holds the fast path off (and waits out
+  /// in-flight fast releases) so the caller may mutate scheduler modules,
+  /// thresholds or attribute slots under meta.
+  class QuiesceGuard {
+   public:
+    QuiesceGuard(Ctx& ctx, ConfigurableLock& lock) : lock_(lock) {
+      if constexpr (kRealConcurrency<P>) {
+        lock_.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+        lock_.wait_fast_releases(ctx);
+      } else {
+        (void)ctx;
+      }
+    }
+    ~QuiesceGuard() {
+      if constexpr (kRealConcurrency<P>) {
+        lock_.quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    QuiesceGuard(const QuiesceGuard&) = delete;
+    QuiesceGuard& operator=(const QuiesceGuard&) = delete;
+
+   private:
+    ConfigurableLock& lock_;
+  };
+
+  /// Non-waiting breaker, armed by conditional (timeout-capable) waiters
+  /// for the duration of their wait: a record that may be withdrawn
+  /// off-queue must not be fast-granted or pre-selected behind the meta
+  /// guard's back. Unlike QuiesceGuard it does not wait out in-flight
+  /// releases at arm time - the timeout resolution does, under meta.
+  class BreakerToken {
+   public:
+    BreakerToken() = default;
+    void arm(ConfigurableLock& lock) noexcept {
+      if constexpr (kRealConcurrency<P>) {
+        lock_ = &lock;
+        lock.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+      } else {
+        (void)lock;
+      }
+    }
+    ~BreakerToken() {
+      if constexpr (kRealConcurrency<P>) {
+        if (lock_ != nullptr) {
+          lock_->quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+        }
+      }
+    }
+    BreakerToken(const BreakerToken&) = delete;
+    BreakerToken& operator=(const BreakerToken&) = delete;
+
+   private:
+    ConfigurableLock* lock_ = nullptr;
+  };
+
+  /// Scheduler kinds the single-store release understands: exclusive
+  /// single-grant built-ins. kNone frees the word (guarded path handles
+  /// sleeper wakeup), RW grants batches, custom modules make no validity
+  /// promises for the pre-selection cache.
+  [[nodiscard]] static constexpr bool fast_kind(SchedulerKind k) noexcept {
+    return k == SchedulerKind::kFcfs || k == SchedulerKind::kPriorityQueue ||
+           k == SchedulerKind::kPriorityThreshold ||
+           k == SchedulerKind::kHandoff;
+  }
+
+  /// Is the cached pre-selection still the right grantee?
+  [[nodiscard]] bool next_grant_valid(const WaiterRecord<P>& cached,
+                                      SchedulerKind kind,
+                                      const Scheduler<P>& sched,
+                                      ThreadId hint) const noexcept {
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+        return true;  // the FIFO head stays the head; arrivals go behind
+      case SchedulerKind::kHandoff:
+        return hint == kInvalidThread || cached.tid == hint;
+      case SchedulerKind::kPriorityQueue:
+      case SchedulerKind::kPriorityThreshold:
+        // Any queue mutation (a new arrival may outrank the cache, a
+        // threshold change may disqualify it) bumps the module version.
+        return sched.version() ==
+               next_grant_version_.load(std::memory_order_relaxed);
+      default:
+        return false;
+    }
+  }
+
+  /// Pre-selects the grantee for the NEXT release while this releaser
+  /// still owns the module - the MCS-style cache the next fast release
+  /// publishes with a single store. Version snapshot taken after the
+  /// select, so any later mutation invalidates the cache.
+  void refill_next_grant(Scheduler<P>& sched) {
+    grant_scratch_.clear();
+    sched.select(grant_scratch_, kInvalidThread);
+    if (grant_scratch_.empty()) {
+      next_grant_.store(nullptr, std::memory_order_relaxed);
+      return;
+    }
+    WaiterRecord<P>* nxt = grant_scratch_.front();
+    grant_scratch_.clear();
+    nxt->registered_with = nullptr;
+    next_grant_version_.store(sched.version(), std::memory_order_relaxed);
+    next_grant_.store(nxt, std::memory_order_relaxed);
+  }
+
+  /// Returns the pre-selected successor, if any, to its queue. Caller must
+  /// own the release module with no fast release in flight (a guarded
+  /// release path, or a quiesced configuration operation holding meta).
+  void reclaim_next_grant() {
+    if constexpr (kRealConcurrency<P>) {
+      WaiterRecord<P>* cached =
+          next_grant_.exchange(nullptr, std::memory_order_relaxed);
+      if (cached == nullptr) return;
+      if (scheduler_ != nullptr) {
+        cached->registered_with = scheduler_.get();
+        scheduler_->enqueue_front(*cached);
+      } else {
+        cached->registered_with = nullptr;
+        orphans_.push_back(*cached);
+      }
+    }
+  }
+
+  bool release_fast_abort() noexcept {
+    fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    return false;
+  }
+
+  /// The single-store contended release. Returns false (having touched
+  /// nothing but the in-flight count) to route the release through the
+  /// guarded path. Exclusivity argument: only the state-word owner runs a
+  /// release module, and this path never publishes the word free, so fast
+  /// releases are serialized by ownership handoff itself; the Dekker gate
+  /// below excludes them from configuration operations.
+  [[nodiscard]] bool release_fast(Ctx& ctx, ThreadId hint) {
+    if (opts_.execution != Execution::kPassive || rw_capable()) return false;
+    fast_releases_inflight_.fetch_add(1, std::memory_order_seq_cst);
+    if (quiesce_breakers_.load(std::memory_order_seq_cst) != 0) {
+      return release_fast_abort();
+    }
+    // Quiescent: configuration is locked out until our in-flight count
+    // drops; we own the modules by holding the state word.
+    const SchedulerKind kind = scheduler_kind_.load(std::memory_order_relaxed);
+    if (!fast_kind(kind) || has_pending_.load(std::memory_order_relaxed) ||
+        !orphans_.empty()) {
+      return release_fast_abort();
+    }
+    drain_arrivals(ctx);
+    Scheduler<P>& sched = *scheduler_;
+    WaiterRecord<P>* succ = next_grant_.load(std::memory_order_relaxed);
+    if (succ != nullptr && !next_grant_valid(*succ, kind, sched, hint)) {
+      // Stale pre-selection (priority landscape or hint changed): put it
+      // back at the head of its queue - it was the oldest candidate - and
+      // select afresh.
+      next_grant_.store(nullptr, std::memory_order_relaxed);
+      succ->registered_with = &sched;
+      sched.enqueue_front(*succ);
+      succ = nullptr;
+    }
+    if (succ == nullptr) {
+      grant_scratch_.clear();
+      sched.select(grant_scratch_, hint);
+      if (grant_scratch_.empty()) {
+        // Nobody eligible: publishing the word free (and waking barging
+        // sleepers) is the guarded path's job.
+        grant_scratch_.clear();
+        return release_fast_abort();
+      }
+      succ = grant_scratch_.front();
+      grant_scratch_.clear();
+      succ->registered_with = nullptr;
+    } else {
+      next_grant_.store(nullptr, std::memory_order_relaxed);
+    }
+    // Pre-select the next grantee while we still own the module.
+    refill_next_grant(sched);
+    // Every module mutation is complete. Publish ownership: mirrors first,
+    // the grant-flag store last - the one store the new owner's critical
+    // section is ordered after. The epilogue below the store touches only
+    // the in-flight count (hence a counter, not a flag: it may overlap the
+    // new owner's own fast release).
+    holders_ = 1;
+    const ThreadId tid = succ->tid;
+    const bool may_sleep = succ->may_sleep;
+    P::store(ctx, owner_, static_cast<std::uint64_t>(tid) + 1);
+    monitor_.on_handoff();
+    P::store(ctx, succ->granted, 1);
+    if (may_sleep) {
+      monitor_.on_wakeup();
+      P::unblock(ctx, tid);
+    }
+    fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    // Oversubscribed processor: give the grantee a chance to run now
+    // rather than after our quantum expires re-contending the lock.
+    if (P::oversubscribed(ctx)) P::yield(ctx);
+    return true;
+  }
+
   // -------------------------------------------------------- release ------
 
   void release(Ctx& ctx, ThreadId hint, bool shared) {
@@ -1074,6 +1425,9 @@ class ConfigurableLock {
       }
     };
 
+    // The guarded path must see every waiter: fold a fast-release
+    // pre-selection back into its queue before selecting.
+    reclaim_next_grant();
     for (;;) {
       if constexpr (kRealConcurrency<P>) drain_arrivals(ctx);
       if (scheduler_ != nullptr && scheduler_->empty() &&
@@ -1120,9 +1474,27 @@ class ConfigurableLock {
       writer_held_ = !shared_grant;
       assert(shared_grant || holders_ == 1);
       if (!shared_grant) {
-        P::store(ctx, owner_,
-                 static_cast<std::uint64_t>(grant_scratch_.front()->tid) + 1);
+        // Exclusive handoff: the granted store transfers the state word,
+        // and the new owner may run a fast release - which uses
+        // grant_scratch_ without taking meta - the instant it lands. Empty
+        // the batch BEFORE publishing so the scratch is never shared.
+        WaiterRecord<P>* w = grant_scratch_.front();
+        grant_scratch_.clear();
+        P::store(ctx, owner_, static_cast<std::uint64_t>(w->tid) + 1);
+        w->registered_with = nullptr;
+        w->granted_flag_host = true;
+        monitor_.on_handoff();
+        const ThreadId tid = w->tid;
+        const bool may_sleep = w->may_sleep;
+        P::store(ctx, w->granted, 1);
+        // After this store the record (on the waiter's stack) may
+        // disappear; only the captured tid is used below.
+        if (may_sleep) queue_wake(tid);
+        meta_unlock(ctx);
+        break;
       }
+      // Shared batch: only reader-writer locks produce these, and RW locks
+      // never take the fast-release path, so nobody races the scratch.
       for (WaiterRecord<P>* w : grant_scratch_) {
         w->registered_with = nullptr;
         w->granted_flag_host = true;
@@ -1148,6 +1520,10 @@ class ConfigurableLock {
                          std::unique_ptr<Scheduler<P>> fresh) {
     assert((kind == SchedulerKind::kReaderWriter) == rw_capable() &&
            "RW capability is fixed at construction");
+    // Scheduler swaps retire the outgoing module: quiesce the fast path
+    // and reclaim its pre-selection (below, under meta) or the cached
+    // record would dangle on a destroyed queue.
+    QuiesceGuard quiesce(ctx, *this);
     monitor_.on_reconfiguration(/*scheduler_change=*/true);
     (void)P::load(ctx, sched_flag_);                    // 1R
     const auto code = static_cast<std::uint64_t>(kind);
@@ -1156,6 +1532,7 @@ class ConfigurableLock {
     P::store(ctx, sched_rel_, code);                    // W3: release
     P::store(ctx, sched_flag_, 1);                      // W4: delay flag on
     meta_lock(ctx);
+    reclaim_next_grant();
     if constexpr (kRealConcurrency<P>) {
       // In-flight lock-free arrivals registered before this configuration:
       // drain them now so they land in the outgoing module and are served
@@ -1204,21 +1581,59 @@ class ConfigurableLock {
   void on_acquired_exclusive(Ctx& ctx, bool contended, Nanos t0) {
     P::store(ctx, owner_, static_cast<std::uint64_t>(ctx.self()) + 1);
     recursion_depth_ = 0;
-    acquire_time_ = P::now(ctx);
-    monitor_.on_acquire(contended);
-    if (contended) monitor_.on_wait_complete(acquire_time_ - t0);
+    if constexpr (kRealConcurrency<P>) {
+      // Clock elision: with the monitor off the timestamps feed nothing;
+      // with it on, only the 1-in-N sampled acquisitions (t0 nonzero) pay
+      // clock reads. acquire_time_ == 0 tells the release side this hold
+      // carries no time sample.
+      if (!monitor_.enabled()) {
+        acquire_time_ = 0;
+        return;
+      }
+      monitor_.on_acquire(contended);
+      if (t0 != 0) {
+        acquire_time_ = P::now(ctx);
+        if (contended) monitor_.on_wait_complete(acquire_time_ - t0);
+      } else {
+        acquire_time_ = 0;
+      }
+    } else {
+      acquire_time_ = P::now(ctx);
+      monitor_.on_acquire(contended);
+      if (contended) monitor_.on_wait_complete(acquire_time_ - t0);
+    }
   }
 
   void on_granted(Ctx& ctx, bool shared, Nanos t0) {
-    const Nanos now = P::now(ctx);
-    if (shared) {
-      monitor_.on_shared_acquire();
+    if constexpr (kRealConcurrency<P>) {
+      if (!shared) recursion_depth_ = 0;
+      if (!monitor_.enabled()) {
+        if (!shared) acquire_time_ = 0;
+        return;
+      }
+      if (shared) {
+        monitor_.on_shared_acquire();
+      } else {
+        monitor_.on_acquire(/*contended=*/true);
+      }
+      if (t0 != 0) {
+        const Nanos now = P::now(ctx);
+        if (!shared) acquire_time_ = now;
+        monitor_.on_wait_complete(now - t0);
+      } else if (!shared) {
+        acquire_time_ = 0;
+      }
     } else {
-      recursion_depth_ = 0;
-      acquire_time_ = now;
-      monitor_.on_acquire(/*contended=*/true);
+      const Nanos now = P::now(ctx);
+      if (shared) {
+        monitor_.on_shared_acquire();
+      } else {
+        recursion_depth_ = 0;
+        acquire_time_ = now;
+        monitor_.on_acquire(/*contended=*/true);
+      }
+      monitor_.on_wait_complete(now - t0);
     }
-    monitor_.on_wait_complete(now - t0);
   }
 
   // ------------------------------------------------- reader-writer -------
@@ -1391,6 +1806,16 @@ class ConfigurableLock {
   /// Failed probes tolerated (grant-flag spins, pending-arrival-link waits)
   /// before escalating from PAUSE to yielding the processor.
   static constexpr std::uint32_t kSpinsBeforeYield = 64;
+  /// Same, when live threads exceed processors (spinning mostly steals the
+  /// quantum the releaser needs).
+  static constexpr std::uint32_t kSpinsBeforeYieldOversubscribed = 4;
+  /// Failed probes an oversubscribed spin-policy waiter tolerates before it
+  /// parks outright (it registered sleepable, so its grant signals the
+  /// parker). Zero: park on the first failed probe. Handoffs faster than the
+  /// park entry deposit a token the park consumes without sleeping, so the
+  /// fast-handoff case stays cheap, while every avoided yield/pause keeps a
+  /// doomed spinner off the run queue the grant-producing thread needs.
+  static constexpr std::uint32_t kStreakBeforeParkOversubscribed = 0;
   /// meta_lock escalation: PAUSE probes, then bounded-exponential busy
   /// delays, then yields.
   static constexpr std::uint32_t kMetaPureSpins = 4;
@@ -1441,7 +1866,17 @@ class ConfigurableLock {
 
   WaiterQueue<P> sleepers_;     ///< centralized-mode sleeping waiters (meta)
   WaiterQueue<P> orphans_;      ///< drained arrivals with no module (meta)
-  GrantBatch<P> grant_scratch_; ///< reused strictly under meta
+  GrantBatch<P> grant_scratch_; ///< reused by the module owner only
+
+  // Configuration-quiescence epoch (kRealConcurrency fast release). Host-
+  // side atomics so the simulator's word placement is untouched.
+  std::atomic<std::uint32_t> quiesce_breakers_{0};
+  std::atomic<std::uint32_t> fast_releases_inflight_{0};
+  /// Pre-selected grantee for the next release (owned by the module owner;
+  /// off every queue, registered_with == nullptr while cached).
+  std::atomic<WaiterRecord<P>*> next_grant_{nullptr};
+  /// Scheduler version at pre-selection time (priority-kind validation).
+  std::atomic<std::uint64_t> next_grant_version_{0};
 
   // Owner-only bookkeeping.
   std::uint32_t recursion_depth_ = 0;

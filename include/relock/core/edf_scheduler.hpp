@@ -17,39 +17,30 @@
 namespace relock {
 
 template <Platform P>
-class EdfScheduler final : public Scheduler<P> {
+class EdfScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kCustom;
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
 
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (WaiterRecord<P>* best = earliest_deadline()) this->take(*best, out);
+  }
+  [[nodiscard]] const WaiterRecord<P>* peek_next(
+      ThreadId /*hint*/) const noexcept override {
+    return earliest_deadline();
+  }
+
+ private:
+  [[nodiscard]] WaiterRecord<P>* earliest_deadline() const noexcept {
     WaiterRecord<P>* best = nullptr;
-    queue_.for_each([&](WaiterRecord<P>& w) {
+    this->queue_.for_each([&](WaiterRecord<P>& w) {
       // Priority encodes the deadline: smaller value = earlier deadline.
       if (best == nullptr || w.priority < best->priority) best = &w;
       return true;
     });
-    if (best != nullptr) {
-      queue_.remove(*best);
-      out.push_back(best);
-    }
+    return best;
   }
-
-  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept override {
-    return queue_.size();
-  }
-  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
-    WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
-    return w;
-  }
-
- private:
-  WaiterQueue<P> queue_;
 };
 
 }  // namespace relock

@@ -7,8 +7,10 @@
 // therefore plain single-threaded data structures.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -95,6 +97,13 @@ class Scheduler {
   /// Registration: logs a waiter that must wait.
   virtual void enqueue(WaiterRecord<P>& w) = 0;
 
+  /// Re-registers a waiter at the *head* of the grant order. Used by the
+  /// lock to return a pre-dequeued successor (the fast-release cache) to
+  /// the module without losing its position: the cached record was the
+  /// oldest selection candidate at the time it was cached. Modules without
+  /// a positional queue may fall back to a plain enqueue.
+  virtual void enqueue_front(WaiterRecord<P>& w) { enqueue(w); }
+
   /// Withdraws a waiter (timeout / abandoned conditional acquisition).
   virtual void remove(WaiterRecord<P>& w) = 0;
 
@@ -102,6 +111,15 @@ class Scheduler {
   /// the handoff target (kInvalidThread = none). May select nobody even
   /// when waiters exist (e.g. all below a priority threshold).
   virtual void select(GrantBatch<P>& out, ThreadId hint) = 0;
+
+  /// Non-mutating preview of select(): the record a subsequent select with
+  /// the same hint would grant first, or nullptr when it would grant
+  /// nobody. Modules that cannot preview may return nullptr; the lock then
+  /// simply skips successor pre-computation for them.
+  [[nodiscard]] virtual const WaiterRecord<P>* peek_next(
+      ThreadId /*hint*/) const noexcept {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual bool empty() const noexcept = 0;
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
@@ -112,6 +130,17 @@ class Scheduler {
   /// reconfiguration); records left on the replaced module would dangle.
   [[nodiscard]] virtual WaiterRecord<P>* pop_any() noexcept = 0;
 
+  /// Structural version: incremented on every mutation that can change the
+  /// outcome of a future select() — enqueues, removals, selections, and
+  /// parameter changes. The lock's fast-release path snapshots it when it
+  /// pre-computes a successor and re-validates before publishing ownership
+  /// (stale cache => fall back to the guarded release module). Relaxed
+  /// atomic: cross-thread ordering is provided by the lock's quiescence
+  /// protocol, not by this counter.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_relaxed);
+  }
+
   // Priority-threshold parameters (no-ops for other kinds).
   virtual void set_threshold(Priority) {}
   [[nodiscard]] virtual Priority threshold() const noexcept {
@@ -120,23 +149,34 @@ class Scheduler {
 
   // Reader-writer parameters (no-ops for other kinds).
   virtual void set_rw_preference(RwPreference) {}
+
+ protected:
+  void bump_version() noexcept {
+    version_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> version_{0};
 };
 
-/// FCFS: strict FIFO grant order. The most common multiprocessor lock
-/// scheduler; fair but oblivious to application structure.
+/// Common base of the queue-backed scheduler modules: owns the intrusive
+/// waiter queue and implements the registration-side operations (with
+/// version bumps) once. Concrete modules supply kind(), select() and
+/// peek_next().
 template <Platform P>
-class FcfsScheduler final : public Scheduler<P> {
+class QueuedScheduler : public Scheduler<P> {
  public:
-  [[nodiscard]] SchedulerKind kind() const noexcept override {
-    return SchedulerKind::kFcfs;
+  void enqueue(WaiterRecord<P>& w) override {
+    queue_.push_back(w);
+    this->bump_version();
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
-  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
-    if (WaiterRecord<P>* w = queue_.front()) {
-      queue_.remove(*w);
-      out.push_back(w);
-    }
+  void enqueue_front(WaiterRecord<P>& w) override {
+    queue_.push_front(w);
+    this->bump_version();
+  }
+  void remove(WaiterRecord<P>& w) override {
+    queue_.remove(w);
+    this->bump_version();
   }
   [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept override {
@@ -144,12 +184,39 @@ class FcfsScheduler final : public Scheduler<P> {
   }
   [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
     WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
+    if (w != nullptr) {
+      queue_.remove(*w);
+      this->bump_version();
+    }
     return w;
   }
 
- private:
+ protected:
+  /// Unlinks `w` and appends it to the grant batch (selection helper).
+  void take(WaiterRecord<P>& w, GrantBatch<P>& out) {
+    queue_.remove(w);
+    out.push_back(&w);
+    this->bump_version();
+  }
+
   WaiterQueue<P> queue_;
+};
+
+/// FCFS: strict FIFO grant order. The most common multiprocessor lock
+/// scheduler; fair but oblivious to application structure.
+template <Platform P>
+class FcfsScheduler final : public QueuedScheduler<P> {
+ public:
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kFcfs;
+  }
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (WaiterRecord<P>* w = this->queue_.front()) this->take(*w, out);
+  }
+  [[nodiscard]] const WaiterRecord<P>* peek_next(
+      ThreadId /*hint*/) const noexcept override {
+    return this->queue_.front();
+  }
 };
 
 /// Priority queue: grants the waiter with the highest priority (FIFO among
@@ -157,36 +224,28 @@ class FcfsScheduler final : public Scheduler<P> {
 /// more (paper section 4.3.1). Selection is a linear scan - queue lengths
 /// are bounded by thread counts and the scan runs under the meta guard.
 template <Platform P>
-class PriorityQueueScheduler final : public Scheduler<P> {
+class PriorityQueueScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kPriorityQueue;
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
-    WaiterRecord<P>* best = nullptr;
-    queue_.for_each([&](WaiterRecord<P>& w) {
-      if (best == nullptr || w.priority > best->priority) best = &w;
-      return true;
-    });
-    if (best != nullptr) {
-      queue_.remove(*best);
-      out.push_back(best);
-    }
+    if (WaiterRecord<P>* best = best_waiter()) this->take(*best, out);
   }
-  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept override {
-    return queue_.size();
-  }
-  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
-    WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
-    return w;
+  [[nodiscard]] const WaiterRecord<P>* peek_next(
+      ThreadId /*hint*/) const noexcept override {
+    return best_waiter();
   }
 
  private:
-  WaiterQueue<P> queue_;
+  [[nodiscard]] WaiterRecord<P>* best_waiter() const noexcept {
+    WaiterRecord<P>* best = nullptr;
+    this->queue_.for_each([&](WaiterRecord<P>& w) {
+      if (best == nullptr || w.priority > best->priority) best = &w;
+      return true;
+    });
+    return best;
+  }
 };
 
 /// Priority threshold: the implementation the paper's client-server
@@ -195,45 +254,41 @@ class PriorityQueueScheduler final : public Scheduler<P> {
 /// are eligible, FCFS among the eligible. Raising the threshold dynamically
 /// makes low-priority clients ineligible so the server is served first.
 template <Platform P>
-class PriorityThresholdScheduler final : public Scheduler<P> {
+class PriorityThresholdScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kPriorityThreshold;
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (WaiterRecord<P>* chosen = first_eligible()) this->take(*chosen, out);
+    // No eligible waiter: grant nobody; the lock is released as free and
+    // ineligible waiters keep waiting for the threshold to drop.
+  }
+  [[nodiscard]] const WaiterRecord<P>* peek_next(
+      ThreadId /*hint*/) const noexcept override {
+    return first_eligible();
+  }
+  void set_threshold(Priority p) override {
+    threshold_ = p;
+    this->bump_version();
+  }
+  [[nodiscard]] Priority threshold() const noexcept override {
+    return threshold_;
+  }
+
+ private:
+  [[nodiscard]] WaiterRecord<P>* first_eligible() const noexcept {
     WaiterRecord<P>* chosen = nullptr;
-    queue_.for_each([&](WaiterRecord<P>& w) {
+    this->queue_.for_each([&](WaiterRecord<P>& w) {
       if (w.priority >= threshold_) {
         chosen = &w;
         return false;  // FCFS among eligible: first hit wins
       }
       return true;
     });
-    if (chosen != nullptr) {
-      queue_.remove(*chosen);
-      out.push_back(chosen);
-    }
-    // No eligible waiter: grant nobody; the lock is released as free and
-    // ineligible waiters keep waiting for the threshold to drop.
-  }
-  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept override {
-    return queue_.size();
-  }
-  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
-    WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
-    return w;
-  }
-  void set_threshold(Priority p) override { threshold_ = p; }
-  [[nodiscard]] Priority threshold() const noexcept override {
-    return threshold_;
+    return chosen;
   }
 
- private:
-  WaiterQueue<P> queue_;
   Priority threshold_ = kDefaultPriority;
 };
 
@@ -242,17 +297,24 @@ class PriorityThresholdScheduler final : public Scheduler<P> {
 /// waiting; otherwise falls back to FCFS. Unfair and application-specific
 /// by design.
 template <Platform P>
-class HandoffScheduler final : public Scheduler<P> {
+class HandoffScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kHandoff;
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
   void select(GrantBatch<P>& out, ThreadId hint) override {
+    if (WaiterRecord<P>* chosen = choose(hint)) this->take(*chosen, out);
+  }
+  [[nodiscard]] const WaiterRecord<P>* peek_next(
+      ThreadId hint) const noexcept override {
+    return choose(hint);
+  }
+
+ private:
+  [[nodiscard]] WaiterRecord<P>* choose(ThreadId hint) const noexcept {
     WaiterRecord<P>* chosen = nullptr;
     if (hint != kInvalidThread) {
-      queue_.for_each([&](WaiterRecord<P>& w) {
+      this->queue_.for_each([&](WaiterRecord<P>& w) {
         if (w.tid == hint) {
           chosen = &w;
           return false;
@@ -260,31 +322,16 @@ class HandoffScheduler final : public Scheduler<P> {
         return true;
       });
     }
-    if (chosen == nullptr) chosen = queue_.front();  // fallback: FCFS
-    if (chosen != nullptr) {
-      queue_.remove(*chosen);
-      out.push_back(chosen);
-    }
+    if (chosen == nullptr) chosen = this->queue_.front();  // fallback: FCFS
+    return chosen;
   }
-  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept override {
-    return queue_.size();
-  }
-  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
-    WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
-    return w;
-  }
-
- private:
-  WaiterQueue<P> queue_;
 };
 
 /// Reader-writer: allows multiple readers inside the critical section
 /// (paper section 4.3.3). Grant batches: a single writer, or a batch of
 /// readers chosen according to the configured preference.
 template <Platform P>
-class ReaderWriterScheduler final : public Scheduler<P> {
+class ReaderWriterScheduler final : public QueuedScheduler<P> {
  public:
   explicit ReaderWriterScheduler(RwPreference pref = RwPreference::kFifo)
       : pref_(pref) {}
@@ -292,41 +339,41 @@ class ReaderWriterScheduler final : public Scheduler<P> {
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kReaderWriter;
   }
-  void enqueue(WaiterRecord<P>& w) override { queue_.push_back(w); }
-  void remove(WaiterRecord<P>& w) override { queue_.remove(w); }
 
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
-    if (queue_.empty()) return;
+    if (this->queue_.empty()) return;
     switch (pref_) {
       case RwPreference::kFifo: {
         // Head decides: a writer goes alone; a reader takes every reader up
         // to the first writer.
-        if (!queue_.front()->shared) {
-          take(*queue_.front(), out);
+        if (!this->queue_.front()->shared) {
+          this->take(*this->queue_.front(), out);
           return;
         }
-        queue_.for_each([&](WaiterRecord<P>& w) {
+        this->queue_.for_each([&](WaiterRecord<P>& w) {
           if (!w.shared) return false;
-          take(w, out);
+          this->take(w, out);
           return true;
         });
         return;
       }
       case RwPreference::kReaderPref: {
         bool any_reader = false;
-        queue_.for_each([&](WaiterRecord<P>& w) {
+        this->queue_.for_each([&](WaiterRecord<P>& w) {
           if (w.shared) {
-            take(w, out);
+            this->take(w, out);
             any_reader = true;
           }
           return true;
         });
-        if (!any_reader && !queue_.empty()) take(*queue_.front(), out);
+        if (!any_reader && !this->queue_.empty()) {
+          this->take(*this->queue_.front(), out);
+        }
         return;
       }
       case RwPreference::kWriterPref: {
         WaiterRecord<P>* writer = nullptr;
-        queue_.for_each([&](WaiterRecord<P>& w) {
+        this->queue_.for_each([&](WaiterRecord<P>& w) {
           if (!w.shared) {
             writer = &w;
             return false;
@@ -334,10 +381,10 @@ class ReaderWriterScheduler final : public Scheduler<P> {
           return true;
         });
         if (writer != nullptr) {
-          take(*writer, out);
+          this->take(*writer, out);
         } else {
-          queue_.for_each([&](WaiterRecord<P>& w) {
-            take(w, out);
+          this->queue_.for_each([&](WaiterRecord<P>& w) {
+            this->take(w, out);
             return true;
           });
         }
@@ -346,24 +393,15 @@ class ReaderWriterScheduler final : public Scheduler<P> {
     }
   }
 
-  [[nodiscard]] bool empty() const noexcept override { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept override {
-    return queue_.size();
+  // No peek_next: RW grants are batches, not single successors; the fast
+  // single-store release path does not apply (base returns nullptr).
+
+  void set_rw_preference(RwPreference p) override {
+    pref_ = p;
+    this->bump_version();
   }
-  [[nodiscard]] WaiterRecord<P>* pop_any() noexcept override {
-    WaiterRecord<P>* w = queue_.front();
-    if (w != nullptr) queue_.remove(*w);
-    return w;
-  }
-  void set_rw_preference(RwPreference p) override { pref_ = p; }
 
  private:
-  void take(WaiterRecord<P>& w, GrantBatch<P>& out) {
-    queue_.remove(w);
-    out.push_back(&w);
-  }
-
-  WaiterQueue<P> queue_;
   RwPreference pref_;
 };
 

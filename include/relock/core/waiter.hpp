@@ -86,6 +86,22 @@ class WaiterQueue {
     ++size_;
   }
 
+  /// Re-inserts a record at the head. Used to return a pre-dequeued
+  /// successor (the fast-release cache) to the queue without losing its
+  /// FIFO position: the cached record was the oldest selection candidate.
+  void push_front(Rec& r) noexcept {
+    r.prev = nullptr;
+    r.next = head_;
+    r.queued = true;
+    if (head_ != nullptr) {
+      head_->prev = &r;
+    } else {
+      tail_ = &r;
+    }
+    head_ = &r;
+    ++size_;
+  }
+
   void remove(Rec& r) noexcept {
     if (!r.queued) return;
     if (r.prev != nullptr) r.prev->next = r.next; else head_ = r.next;

@@ -5,7 +5,23 @@
 //
 // Counters use relaxed atomics: they are monotone event counts whose
 // cross-thread ordering does not matter, and the collection path must not
-// perturb the lock it observes.
+// perturb the lock it observes. Counters on the lock's hot edges (acquire,
+// release, handoff, spin probe, block, wakeup) are additionally sharded
+// into cache-padded per-thread slots: a single shared counter line bouncing
+// between a releaser and its spinning successor would re-serialize the very
+// transfer edge the direct-handoff release keeps to a single store.
+// `snapshot()` merges the shards.
+//
+// Hot-shard increments are plain load+store pairs on relaxed atomics, not
+// read-modify-writes: a lock-prefixed RMW costs a sizable fraction of an
+// entire uncontended lock+unlock, and three of them per operation is where
+// an "observability tax" turns into a throughput regression. The trade is
+// that when more threads than shards use one lock, two threads sharing a
+// slot can occasionally overwrite each other's increment. Lost counts are
+// rare, bounded by one per interleaving, and harmless to the consumer: the
+// adaptation policies act on ratios and trends of monotone counters, never
+// on exact totals. Cold counters (timeouts, reconfigurations) stay exact
+// RMWs, and everything is exact on the single-host-thread simulator.
 #pragma once
 
 #include <algorithm>
@@ -13,9 +29,19 @@
 #include <atomic>
 #include <cstdint>
 
+#include "relock/platform/cacheline.hpp"
 #include "relock/platform/types.hpp"
 
 namespace relock {
+
+namespace monitor_detail {
+/// Process-wide monitor shard slot of the calling thread, assigned round-
+/// robin on first use. Constant-initialized (no per-access TLS init guard:
+/// these reads sit on the lock's hottest edges). kUnassigned is the
+/// sentinel; LockMonitor resolves it lazily.
+inline constexpr std::size_t kUnassignedShard = ~std::size_t{0};
+inline thread_local std::size_t tls_shard_index = kUnassignedShard;
+}  // namespace monitor_detail
 
 /// Snapshot of a lock's monitored state (plain values, safe to copy around).
 struct LockStats {
@@ -31,8 +57,17 @@ struct LockStats {
   std::uint64_t scheduler_changes = 0;
   std::uint64_t shared_acquisitions = 0;
 
-  Nanos total_wait_ns = 0;  ///< summed registration -> grant times
-  Nanos total_hold_ns = 0;  ///< summed acquire -> release times
+  /// Operations that carried a duration measurement. Event counters above
+  /// are exact; the duration statistics below are computed over these
+  /// samples only (real-concurrency platforms time a 1-in-N sample of
+  /// operations because a clock read costs as much as an uncontended
+  /// lock+unlock; the simulator times every operation, so there
+  /// timed == counted).
+  std::uint64_t timed_waits = 0;
+  std::uint64_t timed_holds = 0;
+
+  Nanos total_wait_ns = 0;  ///< summed registration -> grant times (sampled)
+  Nanos total_hold_ns = 0;  ///< summed acquire -> release times (sampled)
   Nanos max_wait_ns = 0;
   Nanos max_hold_ns = 0;
 
@@ -42,15 +77,14 @@ struct LockStats {
   std::array<std::uint64_t, kBuckets> hold_histogram{};
 
   [[nodiscard]] double mean_wait_ns() const {
-    return contended_acquisitions == 0
-               ? 0.0
-               : static_cast<double>(total_wait_ns) /
-                     static_cast<double>(contended_acquisitions);
+    return timed_waits == 0 ? 0.0
+                            : static_cast<double>(total_wait_ns) /
+                                  static_cast<double>(timed_waits);
   }
   [[nodiscard]] double mean_hold_ns() const {
-    return releases == 0 ? 0.0
-                         : static_cast<double>(total_hold_ns) /
-                               static_cast<double>(releases);
+    return timed_holds == 0 ? 0.0
+                            : static_cast<double>(total_hold_ns) /
+                                  static_cast<double>(timed_holds);
   }
   [[nodiscard]] double contention_ratio() const {
     return acquisitions == 0
@@ -76,71 +110,112 @@ class LockMonitor {
 
   void on_acquire(bool contended) noexcept {
     if (!enabled()) return;
-    acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    if (contended) {
-      contended_.fetch_add(1, std::memory_order_relaxed);
-    }
+    HotShard& s = shard();
+    inc(s.acquisitions);
+    if (contended) inc(s.contended);
   }
   void on_shared_acquire() noexcept {
     if (!enabled()) return;
     shared_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    inc(shard().acquisitions);
   }
   void on_wait_complete(Nanos wait_ns) noexcept {
     if (!enabled()) return;
-    total_wait_.fetch_add(wait_ns, std::memory_order_relaxed);
+    HotShard& s = shard();
+    inc(s.timed_waits);
+    add(s.total_wait, wait_ns);
     update_max(max_wait_, wait_ns);
-    bump(wait_hist_, wait_ns);
+    bump(s.wait_hist, wait_ns);
   }
   void on_release(Nanos hold_ns) noexcept {
     if (!enabled()) return;
-    releases_.fetch_add(1, std::memory_order_relaxed);
-    total_hold_.fetch_add(hold_ns, std::memory_order_relaxed);
+    HotShard& s = shard();
+    inc(s.releases);
+    inc(s.timed_holds);
+    add(s.total_hold, hold_ns);
     update_max(max_hold_, hold_ns);
-    bump(hold_hist_, hold_ns);
+    bump(s.hold_hist, hold_ns);
   }
-  void on_handoff() noexcept { bump_if(handoffs_); }
-  void on_block() noexcept { bump_if(blocks_); }
-  void on_wakeup() noexcept { bump_if(wakeups_); }
+  /// Release counted without a hold-time sample (the acquire side elided
+  /// its clock read; duration statistics stay per-sample).
+  void on_release() noexcept {
+    if (enabled()) inc(shard().releases);
+  }
+  /// True when this operation should carry clock reads: every `kPeriod`th
+  /// per thread, the first included. Real-concurrency lock paths consult
+  /// this before timestamping - a monotonic clock read costs on the order
+  /// of an entire uncontended lock+unlock, so timing every operation would
+  /// triple the hot path. Event counters are never sampled.
+  [[nodiscard]] static bool timing_sample() noexcept {
+    constexpr std::uint32_t kPeriod = 64;  // power of two
+    thread_local std::uint32_t n = 0;
+    return (n++ & (kPeriod - 1)) == 0;
+  }
+  void on_handoff() noexcept {
+    if (enabled()) inc(shard().handoffs);
+  }
+  void on_block() noexcept {
+    if (enabled()) inc(shard().blocks);
+  }
+  void on_wakeup() noexcept {
+    if (enabled()) inc(shard().wakeups);
+  }
   void on_timeout() noexcept { bump_if(timeouts_); }
-  void on_spin_probe() noexcept { bump_if(spin_probes_); }
+  void on_spin_probe() noexcept {
+    if (enabled()) inc(shard().spin_probes);
+  }
   void on_reconfiguration(bool scheduler_change) noexcept {
     bump_if(reconfigurations_);
     if (scheduler_change) bump_if(scheduler_changes_);
   }
 
+  /// Merges the per-thread shards into one consistent-enough view (in-
+  /// flight increments may be missed; monotone counters never go back).
   [[nodiscard]] LockStats snapshot() const {
     LockStats s;
-    s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
-    s.contended_acquisitions = contended_.load(std::memory_order_relaxed);
-    s.releases = releases_.load(std::memory_order_relaxed);
-    s.handoffs = handoffs_.load(std::memory_order_relaxed);
-    s.blocks = blocks_.load(std::memory_order_relaxed);
-    s.wakeups = wakeups_.load(std::memory_order_relaxed);
     s.timeouts = timeouts_.load(std::memory_order_relaxed);
-    s.spin_probes = spin_probes_.load(std::memory_order_relaxed);
     s.reconfigurations = reconfigurations_.load(std::memory_order_relaxed);
     s.scheduler_changes = scheduler_changes_.load(std::memory_order_relaxed);
     s.shared_acquisitions =
         shared_acquisitions_.load(std::memory_order_relaxed);
-    s.total_wait_ns = total_wait_.load(std::memory_order_relaxed);
-    s.total_hold_ns = total_hold_.load(std::memory_order_relaxed);
     s.max_wait_ns = max_wait_.load(std::memory_order_relaxed);
     s.max_hold_ns = max_hold_.load(std::memory_order_relaxed);
-    for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
-      s.wait_histogram[i] = wait_hist_[i].load(std::memory_order_relaxed);
-      s.hold_histogram[i] = hold_hist_[i].load(std::memory_order_relaxed);
+    for (const CachePadded<HotShard>& padded : shards_) {
+      const HotShard& h = *padded;
+      s.acquisitions += h.acquisitions.load(std::memory_order_relaxed);
+      s.contended_acquisitions += h.contended.load(std::memory_order_relaxed);
+      s.releases += h.releases.load(std::memory_order_relaxed);
+      s.timed_waits += h.timed_waits.load(std::memory_order_relaxed);
+      s.timed_holds += h.timed_holds.load(std::memory_order_relaxed);
+      s.handoffs += h.handoffs.load(std::memory_order_relaxed);
+      s.blocks += h.blocks.load(std::memory_order_relaxed);
+      s.wakeups += h.wakeups.load(std::memory_order_relaxed);
+      s.spin_probes += h.spin_probes.load(std::memory_order_relaxed);
+      s.total_wait_ns += h.total_wait.load(std::memory_order_relaxed);
+      s.total_hold_ns += h.total_hold.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
+        s.wait_histogram[i] +=
+            h.wait_hist[i].load(std::memory_order_relaxed);
+        s.hold_histogram[i] +=
+            h.hold_hist[i].load(std::memory_order_relaxed);
+      }
     }
     return s;
   }
 
   void reset() noexcept {
-    acquisitions_ = 0; contended_ = 0; releases_ = 0; handoffs_ = 0;
-    blocks_ = 0; wakeups_ = 0; timeouts_ = 0; spin_probes_ = 0;
+    timeouts_ = 0;
     reconfigurations_ = 0; scheduler_changes_ = 0; shared_acquisitions_ = 0;
-    total_wait_ = 0; total_hold_ = 0; max_wait_ = 0; max_hold_ = 0;
-    for (auto& b : wait_hist_) b = 0;
-    for (auto& b : hold_hist_) b = 0;
+    max_wait_ = 0; max_hold_ = 0;
+    for (CachePadded<HotShard>& padded : shards_) {
+      HotShard& h = *padded;
+      h.acquisitions = 0; h.contended = 0;
+      h.releases = 0; h.handoffs = 0; h.blocks = 0; h.wakeups = 0;
+      h.spin_probes = 0; h.timed_waits = 0; h.timed_holds = 0;
+      h.total_wait = 0; h.total_hold = 0;
+      for (auto& b : h.wait_hist) b = 0;
+      for (auto& b : h.hold_hist) b = 0;
+    }
   }
 
   static std::size_t bucket_of(Nanos ns) noexcept {
@@ -153,12 +228,51 @@ class LockMonitor {
  private:
   using Counter = std::atomic<std::uint64_t>;
 
+  /// Hot-edge counters, one cache-padded copy per shard, bumped with plain
+  /// load+store increments (see the header comment for the lost-increment
+  /// trade).
+  struct HotShard {
+    Counter acquisitions{0}, contended{0};
+    Counter releases{0}, handoffs{0}, blocks{0}, wakeups{0}, spin_probes{0};
+    Counter timed_waits{0}, timed_holds{0};
+    Counter total_wait{0}, total_hold{0};
+    std::array<Counter, LockStats::kBuckets> wait_hist{};
+    std::array<Counter, LockStats::kBuckets> hold_hist{};
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  /// Process-wide round-robin shard assignment, fixed per thread on first
+  /// use. Threads outnumbering kShards share slots (still correct - the
+  /// slot counters are atomic - just with some line sharing and the rare
+  /// lost increment described above).
+  [[nodiscard]] static std::size_t shard_index() noexcept {
+    std::size_t idx = monitor_detail::tls_shard_index;
+    if (idx == monitor_detail::kUnassignedShard) [[unlikely]] {
+      static std::atomic<std::size_t> next{0};
+      idx = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+      monitor_detail::tls_shard_index = idx;
+    }
+    return idx;
+  }
+  [[nodiscard]] HotShard& shard() noexcept { return *shards_[shard_index()]; }
+
+  /// Plain increment on a relaxed atomic: data-race free, but two threads
+  /// sharing a shard slot can overwrite each other's bump (rare, harmless -
+  /// see the header comment). An order of magnitude cheaper than a
+  /// lock-prefixed RMW on the hot path.
+  static void add(Counter& c, std::uint64_t v) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + v,
+            std::memory_order_relaxed);
+  }
+  static void inc(Counter& c) noexcept { add(c, 1); }
+
   void bump_if(Counter& c) noexcept {
     if (enabled()) c.fetch_add(1, std::memory_order_relaxed);
   }
-  void bump(std::array<Counter, LockStats::kBuckets>& hist,
-            Nanos ns) noexcept {
-    hist[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  static void bump(std::array<Counter, LockStats::kBuckets>& hist,
+                   Nanos ns) noexcept {
+    inc(hist[bucket_of(ns)]);
   }
   static void update_max(Counter& slot, Nanos v) noexcept {
     std::uint64_t cur = slot.load(std::memory_order_relaxed);
@@ -168,13 +282,12 @@ class LockMonitor {
   }
 
   std::atomic<bool> enabled_{false};
-  Counter acquisitions_{0}, contended_{0}, releases_{0}, handoffs_{0};
-  Counter blocks_{0}, wakeups_{0}, timeouts_{0}, spin_probes_{0};
+  // Cold counters stay shared and exact (RMW increments).
+  Counter timeouts_{0};
   Counter reconfigurations_{0}, scheduler_changes_{0};
   Counter shared_acquisitions_{0};
-  Counter total_wait_{0}, total_hold_{0}, max_wait_{0}, max_hold_{0};
-  std::array<Counter, LockStats::kBuckets> wait_hist_{};
-  std::array<Counter, LockStats::kBuckets> hold_hist_{};
+  Counter max_wait_{0}, max_hold_{0};
+  std::array<CachePadded<HotShard>, kShards> shards_{};
 };
 
 }  // namespace relock

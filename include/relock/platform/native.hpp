@@ -61,30 +61,50 @@ class Domain {
   Domain& operator=(const Domain&) = delete;
 
   /// Wakes the thread registered as `tid` (no-op token deposit if it is not
-  /// currently parked). Safe against the target unregistering concurrently:
-  /// the slot mutex pins the Parker for the duration of the signal, and a
-  /// slot that already emptied makes this a no-op. That matters because a
+  /// currently parked). Mutex-free: the direct-handoff release path signals
+  /// its grantee on this edge and must not serialize releasers on a slot
+  /// lock. Safe against the target unregistering concurrently: the slot's
+  /// in-flight count pins the Parker for the duration of the signal (a
+  /// store-then-load Dekker handshake with unregister_thread), and a slot
+  /// that already emptied makes this a no-op. That matters because a
   /// releaser publishes the grant word first and signals after - the grantee
   /// can consume the grant without ever parking, return, and tear down its
   /// Context before the (now redundant) wake lands.
   void unpark(ThreadId tid) {
     assert(tid < slots_.size());
     Slot& slot = *slots_[tid];
-    std::lock_guard<std::mutex> lk(slot.mu);
-    if (Parker* p = slot.parker) p->unpark();
+    slot.inflight.fetch_add(1, std::memory_order_seq_cst);
+    if (Parker* p = slot.parker.load(std::memory_order_seq_cst)) {
+      p->unpark();
+    }
+    slot.inflight.fetch_sub(1, std::memory_order_release);
   }
 
   [[nodiscard]] std::uint32_t capacity() const noexcept {
     return static_cast<std::uint32_t>(slots_.size());
   }
 
-  [[nodiscard]] std::uint32_t registered_count() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return live_;
+  [[nodiscard]] std::uint32_t registered_count() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  /// True when more threads are registered than the host has processors.
+  /// Spin policies consult this to give way sooner; approximate by nature
+  /// (registration is the best live-thread census the library has).
+  [[nodiscard]] bool oversubscribed() const noexcept {
+    return live_.load(std::memory_order_relaxed) > hardware_threads();
   }
 
  private:
   friend class Context;
+
+  [[nodiscard]] static std::uint32_t hardware_threads() noexcept {
+    static const std::uint32_t n = [] {
+      const unsigned hc = std::thread::hardware_concurrency();
+      return hc == 0 ? 1u : static_cast<std::uint32_t>(hc);
+    }();
+    return n;
+  }
 
   // O(1) id assignment: recycled ids first (keeps ids dense), then the
   // high-water counter for never-used slots. Replaces a linear scan that
@@ -101,38 +121,38 @@ class Domain {
     } else {
       throw std::length_error("relock: Domain thread capacity exhausted");
     }
-    {
-      std::lock_guard<std::mutex> slk(slots_[id]->mu);
-      slots_[id]->parker = &parker;
-    }
-    ++live_;
+    slots_[id]->parker.store(&parker, std::memory_order_release);
+    live_.fetch_add(1, std::memory_order_relaxed);
     return id;
   }
 
-  // Lock order is registry mu_ -> slot mu (unpark takes only the slot mu,
-  // so there is no cycle). Once this returns, no unpark can reach the
-  // Parker: any in-flight signal finished before the slot mutex was
-  // re-acquired here, making Context destruction safe.
+  // Publish the empty slot, then wait out in-flight signals: an unpark that
+  // read the Parker pointer before the store lands holds the slot pinned
+  // via the in-flight count (seq_cst on both sides makes the store/load
+  // pairs a Dekker handshake - at least one side sees the other). Once the
+  // spin falls through, no signal can reach the Parker and Context
+  // destruction is safe.
   void unregister_thread(ThreadId id) {
     std::lock_guard<std::mutex> lk(mu_);
-    {
-      std::lock_guard<std::mutex> slk(slots_[id]->mu);
-      slots_[id]->parker = nullptr;
+    Slot& slot = *slots_[id];
+    slot.parker.store(nullptr, std::memory_order_seq_cst);
+    while (slot.inflight.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
     }
     free_.push_back(id);
-    --live_;
+    live_.fetch_sub(1, std::memory_order_relaxed);
   }
 
-  // Parker pointer plus the mutex that serializes wakes against the owning
-  // thread's unregistration. Padded so wakes of different threads do not
-  // false-share.
+  // Parker pointer plus the in-flight signal count that pins it against
+  // the owning thread's unregistration. Padded so wakes of different
+  // threads do not false-share.
   struct Slot {
-    std::mutex mu;
-    Parker* parker = nullptr;
+    std::atomic<Parker*> parker{nullptr};
+    std::atomic<std::uint32_t> inflight{0};
   };
 
-  mutable std::mutex mu_;
-  std::uint32_t live_ = 0;
+  std::mutex mu_;
+  std::atomic<std::uint32_t> live_{0};
   ThreadId next_fresh_ = 0;
   std::vector<ThreadId> free_;
   std::vector<CachePadded<Slot>> slots_;
@@ -230,6 +250,13 @@ struct NativePlatform {
 
   /// Wakes thread `tid` of the same domain.
   static void unblock(Context& ctx, ThreadId tid) { ctx.domain().unpark(tid); }
+
+  /// True when more threads are registered with the domain than the host
+  /// has processors (spin policies give way sooner). Extra static beyond
+  /// the Platform concept; used only under `if constexpr (kRealConcurrency)`.
+  static bool oversubscribed(Context& ctx) noexcept {
+    return ctx.domain().oversubscribed();
+  }
 
   /// Monotonic nanoseconds.
   static Nanos now(Context&) noexcept { return monotonic_now(); }

@@ -7,9 +7,22 @@
 // The token makes the unblock-before-block race benign, which is exactly
 // what lock release paths need (a releaser may select a waiter that has not
 // physically gone to sleep yet).
+//
+// The token lives in an atomic state word so the common release-side case -
+// signalling a waiter that is still spinning, or parking with the token
+// already present - is mutex-free: one CAS/exchange. The mutex+cv pair is
+// entered only when a thread actually sleeps.
+//
+// Lifetime: unpark() may touch the mutex after the parked thread has
+// consumed the token and returned, so callers must pin the Parker for the
+// duration of the call. Domain::unpark does exactly that (per-slot in-flight
+// count that unregistration waits out); do not signal a Parker whose owning
+// thread may concurrently destroy it through any other channel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "relock/platform/types.hpp"
@@ -24,36 +37,88 @@ class Parker {
 
   /// Blocks until a token is available, then consumes it.
   void park() {
+    // Fast path: the token is already here - consume it without the mutex.
+    std::uint32_t expected = kToken;
+    if (state_.compare_exchange_strong(expected, kEmpty,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
     std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return token_; });
-    token_ = false;
+    expected = kEmpty;
+    if (!state_.compare_exchange_strong(expected, kParked,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+      // Token arrived between the fast path and the lock: consume.
+      (void)state_.exchange(kEmpty, std::memory_order_acquire);
+      return;
+    }
+    cv_.wait(lk, [&] {
+      return state_.load(std::memory_order_relaxed) == kToken;
+    });
+    (void)state_.exchange(kEmpty, std::memory_order_acquire);
   }
 
   /// Blocks until a token is available or `ns` elapsed.
   /// Returns true iff a token was consumed (i.e. we were unparked).
   bool park_for(Nanos ns) {
+    std::uint32_t expected = kToken;
+    if (state_.compare_exchange_strong(expected, kEmpty,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
     std::unique_lock<std::mutex> lk(mu_);
-    const bool got = cv_.wait_for(lk, std::chrono::nanoseconds(ns),
-                                  [&] { return token_; });
-    if (got) token_ = false;
-    return got;
+    expected = kEmpty;
+    if (!state_.compare_exchange_strong(expected, kParked,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+      (void)state_.exchange(kEmpty, std::memory_order_acquire);
+      return true;
+    }
+    const bool got =
+        cv_.wait_for(lk, std::chrono::nanoseconds(ns), [&] {
+          return state_.load(std::memory_order_relaxed) == kToken;
+        });
+    if (got) {
+      (void)state_.exchange(kEmpty, std::memory_order_acquire);
+      return true;
+    }
+    // Timed out while advertised as parked: retract the advertisement. A
+    // failed CAS means a token landed between the wait expiring and now -
+    // consume it and report the wakeup rather than losing the signal.
+    expected = kParked;
+    if (state_.compare_exchange_strong(expected, kEmpty,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    (void)state_.exchange(kEmpty, std::memory_order_acquire);
+    return true;
   }
 
-  /// Deposits a token and wakes the parked thread if any. The notify runs
-  /// under the mutex: a woken parker cannot re-acquire it (and so cannot
-  /// return and destroy this Parker) until the signaler has fully left the
-  /// condition variable - destruction right after park() returns is safe.
-  /// Linux wait-morphing makes the held-lock notify free of extra wakeups.
+  /// Deposits a token; wakes the owning thread iff it is actually parked.
+  /// Signalling a spinning (or absent) waiter is a single exchange. The
+  /// notify runs under the mutex: a sleeping parker cannot re-acquire it
+  /// (and so cannot return) until the signaler has fully left the condition
+  /// variable - see the lifetime note in the header comment.
   void unpark() {
-    std::lock_guard<std::mutex> lk(mu_);
-    token_ = true;
-    cv_.notify_one();
+    const std::uint32_t prev =
+        state_.exchange(kToken, std::memory_order_release);
+    if (prev == kParked) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_one();
+    }
   }
 
  private:
+  static constexpr std::uint32_t kEmpty = 0;   ///< no token, nobody asleep
+  static constexpr std::uint32_t kToken = 1;   ///< wakeup deposited
+  static constexpr std::uint32_t kParked = 2;  ///< owner sleeping on cv_
+
+  std::atomic<std::uint32_t> state_{kEmpty};
   std::mutex mu_;
   std::condition_variable cv_;
-  bool token_ = false;
 };
 
 }  // namespace relock

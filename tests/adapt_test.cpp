@@ -106,10 +106,12 @@ TEST(DeltaBetween, ComputesInterval) {
   a.acquisitions = 10;
   a.contended_acquisitions = 2;
   a.releases = 10;
+  a.timed_holds = 10;
   a.total_hold_ns = 1000;
   b.acquisitions = 30;
   b.contended_acquisitions = 12;
   b.releases = 30;
+  b.timed_holds = 30;
   b.total_hold_ns = 5000;
   const StatsDelta d = delta_between(a, b);
   EXPECT_EQ(d.acquisitions, 20u);
