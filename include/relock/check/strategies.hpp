@@ -1,0 +1,216 @@
+// Scheduling strategies for the relock-check engine: preemption-bounded
+// exhaustive DFS (CHESS-style) for small scenarios and PCT-style randomized
+// priority schedules (seeded, replayable) for larger ones.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relock/check/engine.hpp"
+
+namespace relock::chk {
+
+namespace detail {
+
+/// splitmix64: tiny, high-quality seeded generator - keeps the checker free
+/// of unseeded randomness so every schedule is reproducible from one word.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// Exhaustive DFS over schedules with a preemption bound (CHESS): letting
+/// the previously running thread continue is free; switching away from it
+/// while it could still run costs one preemption. Context switches at a
+/// block/pause/finish are free. Most lock bugs need only 1-2 preemptions,
+/// so a small bound explores the interesting schedules of a 2-3 thread
+/// scenario completely in seconds.
+class DfsStrategy final : public Strategy {
+ public:
+  /// `preemption_bound`: max preemptions per schedule. `max_schedules`
+  /// caps the exploration (0 = unlimited); hitting it sets hit_cap().
+  explicit DfsStrategy(std::uint32_t preemption_bound,
+                       std::uint64_t max_schedules = 0)
+      : bound_(preemption_bound), max_schedules_(max_schedules) {}
+
+  std::size_t pick(const Step& step) override {
+    if (depth_ < frames_.size()) {
+      // Replaying the committed prefix of this schedule.
+      Frame& f = frames_[depth_];
+      ++depth_;
+      preemptions_used_ += cost_of(f, f.order[f.pos]);
+      return f.order[f.pos];
+    }
+    Frame f;
+    f.enabled = step.enabled;
+    f.last_tid = step.last_tid;
+    f.last_runnable = step.last_runnable;
+    f.preemptions_before = preemptions_used_;
+    // Visit the continuation of the previous thread first: the depth-first
+    // spine is then the preemption-free schedule.
+    for (std::size_t i = 0; i < f.enabled.size(); ++i) f.order.push_back(i);
+    if (step.last_runnable) {
+      for (std::size_t i = 0; i < f.order.size(); ++i) {
+        if (f.enabled[f.order[i]].tid == step.last_tid &&
+            f.enabled[f.order[i]].kind == ActionKind::kRun) {
+          std::swap(f.order[0], f.order[i]);
+          break;
+        }
+      }
+    }
+    f.pos = 0;
+    preemptions_used_ += cost_of(f, f.order[0]);
+    frames_.push_back(std::move(f));
+    ++depth_;
+    return frames_.back().order[0];
+  }
+
+  bool schedule_done(bool failed) override {
+    ++schedules_run_;
+    if (failed) return false;
+    if (max_schedules_ != 0 && schedules_run_ >= max_schedules_) {
+      hit_cap_ = true;
+      return false;
+    }
+    // Backtrack: deepest frame with an untried alternative we can afford.
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      while (f.pos + 1 < f.order.size()) {
+        ++f.pos;
+        if (f.preemptions_before + cost_of(f, f.order[f.pos]) <= bound_) {
+          depth_ = 0;
+          preemptions_used_ = 0;
+          return true;
+        }
+      }
+      frames_.pop_back();
+    }
+    exhausted_ = true;
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "dfs(bound=" + std::to_string(bound_) + ")";
+  }
+
+  /// True once the bounded schedule space was fully explored.
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  /// True if the schedule cap stopped exploration before exhaustion.
+  [[nodiscard]] bool hit_cap() const { return hit_cap_; }
+
+ private:
+  struct Frame {
+    std::vector<Action> enabled;
+    std::vector<std::size_t> order;  ///< visit order over `enabled`
+    std::size_t pos = 0;             ///< current choice within `order`
+    std::uint32_t preemptions_before = 0;
+    ThreadId last_tid = kInvalidThread;
+    bool last_runnable = false;
+  };
+
+  [[nodiscard]] static std::uint32_t cost_of(const Frame& f,
+                                             std::size_t choice) {
+    // A preemption: the previous thread could continue running but a
+    // different thread is scheduled instead. Timeout firings also count
+    // when they preempt (they model an asynchronous timer interrupt).
+    return f.last_runnable && f.enabled[choice].tid != f.last_tid ? 1u : 0u;
+  }
+
+  std::uint32_t bound_;
+  std::uint64_t max_schedules_;
+  std::vector<Frame> frames_;
+  std::size_t depth_ = 0;
+  std::uint32_t preemptions_used_ = 0;
+  std::uint64_t schedules_run_ = 0;
+  bool exhausted_ = false;
+  bool hit_cap_ = false;
+};
+
+/// PCT-style randomized exploration (Burckhardt et al., ASPLOS'10): each
+/// schedule assigns random distinct priorities to threads and picks d-1
+/// random change points at which the running thread's priority drops below
+/// everyone else's. Finds depth-d bugs with probability >= 1/(n * k^(d-1))
+/// per schedule. Fully determined by (seed, schedule index) - the seed is
+/// printed by the tests and can be pinned via RELOCK_CHECK_SEED.
+class PctStrategy final : public Strategy {
+ public:
+  PctStrategy(std::uint64_t seed, std::uint64_t schedules,
+              std::uint32_t depth = 3)
+      : seed_(seed), schedules_(schedules), depth_(depth) {
+    reseed();
+  }
+
+  std::size_t pick(const Step& step) override {
+    ++step_no_;
+    // Change point: demote whoever is currently on top.
+    if (change_next_ < change_points_.size() &&
+        step_no_ >= change_points_[change_next_] &&
+        step.last_tid != kInvalidThread) {
+      priorities_[step.last_tid] = next_demoted_--;
+      ++change_next_;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < step.enabled.size(); ++i) {
+      if (priorities_[step.enabled[i].tid] >
+          priorities_[step.enabled[best].tid]) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool schedule_done(bool failed) override {
+    est_len_ = std::max<std::uint64_t>(step_no_, 16);
+    ++run_;
+    if (failed || run_ >= schedules_) return false;
+    reseed();
+    return true;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "pct(seed=" + std::to_string(seed_) +
+           ", d=" + std::to_string(depth_) + ")";
+  }
+
+ private:
+  void reseed() {
+    std::uint64_t s = seed_ ^ (0xd1b54a32d192ed03ull * (run_ + 1));
+    priorities_.assign(Domain::kCapacity, 0);
+    // Random distinct base priorities via a seeded shuffle of 1..capacity.
+    std::vector<int> base(Domain::kCapacity);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      base[i] = static_cast<int>(i) + 1;
+    }
+    for (std::size_t i = base.size(); i > 1; --i) {
+      std::swap(base[i - 1], base[detail::splitmix64(s) % i]);
+    }
+    for (std::size_t i = 0; i < base.size(); ++i) priorities_[i] = base[i];
+    change_points_.clear();
+    for (std::uint32_t i = 0; i + 1 < depth_; ++i) {
+      change_points_.push_back(1 + detail::splitmix64(s) % est_len_);
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+    change_next_ = 0;
+    next_demoted_ = -1;
+    step_no_ = 0;
+  }
+
+  std::uint64_t seed_;
+  std::uint64_t schedules_;
+  std::uint32_t depth_;
+  std::uint64_t run_ = 0;
+  std::uint64_t est_len_ = 64;  ///< change-point range; refined per schedule
+  std::vector<int> priorities_;
+  std::vector<std::uint64_t> change_points_;
+  std::size_t change_next_ = 0;
+  int next_demoted_ = -1;
+  std::uint64_t step_no_ = 0;
+};
+
+}  // namespace relock::chk

@@ -69,6 +69,7 @@
 #include "relock/core/waiter.hpp"
 #include "relock/monitor/lock_monitor.hpp"
 #include "relock/platform/backoff.hpp"
+#include "relock/platform/chk_hooks.hpp"
 #include "relock/platform/platform.hpp"
 
 namespace relock {
@@ -285,7 +286,11 @@ class ConfigurableLock {
     if constexpr (kRealConcurrency<P>) {
       // Possession opens a reconfiguration window: breaks the quiescence
       // epoch so releasers stay on the guarded path until it is released.
-      if (won) quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+      if (won) {
+        chk_point<P>(ctx, "possess.arm");
+        quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+        chk_event<P>(ctx, ChkEvent::kBreakerArm);
+      }
     }
     return won;
   }
@@ -299,7 +304,9 @@ class ConfigurableLock {
     const std::uint64_t prev = P::fetch_and(ctx, possess_word_, ~bit);
     if constexpr (kRealConcurrency<P>) {
       if ((prev & bit) != 0) {
+        chk_point<P>(ctx, "possess.disarm");
         quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+        chk_event<P>(ctx, ChkEvent::kBreakerDisarm);
       }
     }
   }
@@ -311,9 +318,11 @@ class ConfigurableLock {
   /// policy they registered with.
   void configure_waiting(Ctx& ctx, LockAttributes attrs) {
     QuiesceGuard quiesce(ctx, *this);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     (void)P::load(ctx, config_word_);
     store_attrs(attrs);
     P::store(ctx, config_word_, config_version_.fetch_add(1) + 1);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
   }
 
@@ -346,6 +355,7 @@ class ConfigurableLock {
   void set_priority_threshold(Ctx& ctx, Priority threshold) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     // A fast release may have pre-dequeued the next grantee; return it so
     // the threshold applies to it too and the empty() probe below is real.
     reclaim_next_grant();
@@ -353,6 +363,10 @@ class ConfigurableLock {
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_threshold(threshold);
     }
+    chk_event<P>(ctx, ChkEvent::kThresholdSet,
+                 static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(threshold)));
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
     if (!held_locked() && scheduler_ != nullptr && !scheduler_->empty()) {
       // Lock is free with waiters that may have just become eligible.
@@ -367,11 +381,13 @@ class ConfigurableLock {
   void set_rw_preference(Ctx& ctx, RwPreference pref) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     opts_.rw_preference = pref;
     if (scheduler_ != nullptr) scheduler_->set_rw_preference(pref);
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_rw_preference(pref);
     }
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
     meta_unlock(ctx);
   }
@@ -383,6 +399,7 @@ class ConfigurableLock {
   void set_thread_attributes(Ctx& ctx, ThreadId tid, LockAttributes attrs) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
       // Flat slot array indexed by ThreadId, published once via an atomic
       // pointer. Registering threads read it without the meta guard (the
@@ -405,11 +422,13 @@ class ConfigurableLock {
       thread_attrs_[tid] = attrs;
       has_thread_attrs_.store(true, std::memory_order_relaxed);
     }
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
   void clear_thread_attributes(Ctx& ctx, ThreadId tid) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
       AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
       if (slots != nullptr && tid < domain_.capacity() &&
@@ -424,6 +443,7 @@ class ConfigurableLock {
       has_thread_attrs_.store(!thread_attrs_.empty(),
                               std::memory_order_relaxed);
     }
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
 
@@ -793,7 +813,7 @@ class ConfigurableLock {
     // record either sees the breaker and stands down, or is already in
     // flight and is waited out by the timeout resolution below.
     BreakerToken breaker;
-    if (deadline != kForever) breaker.arm(*this);
+    if (deadline != kForever) breaker.arm(ctx, *this);
     // Push: mark the link in flight, swing the head, then publish the old
     // head as our link. A drain observing kArrivalLinkPending spins the
     // two-instruction gap.
@@ -801,6 +821,10 @@ class ConfigurableLock {
     const std::uint64_t prev = P::exchange(
         ctx, arrivals_,
         static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&rec)));
+    // Registration order is fixed by the exchange: report it to the checker
+    // in the same atomic step, before the link-pending window opens.
+    chk_event<P>(ctx, ChkEvent::kRegistered, ctx.self());
+    chk_point<P>(ctx, "arr.link");
     rec.arrival_next.store(static_cast<std::uintptr_t>(prev),
                            std::memory_order_release);
     waiter_count_.fetch_add(1, std::memory_order_relaxed);
@@ -836,6 +860,7 @@ class ConfigurableLock {
       on_granted(ctx, /*shared=*/false, t0);
       return true;
     }
+    chk_point<P>(ctx, "to.cache");
     if (next_grant_.load(std::memory_order_relaxed) == &rec) {
       // A pre-breaker fast release pre-selected us as the next grantee;
       // the record is on no queue, just empty the cache.
@@ -843,6 +868,7 @@ class ConfigurableLock {
     } else {
       withdraw(rec);
     }
+    chk_event<P>(ctx, ChkEvent::kTimeoutReturn, ctx.self());
     meta_unlock(ctx);
     waiter_count_.fetch_sub(1, std::memory_order_relaxed);
     monitor_.on_timeout();
@@ -1177,7 +1203,11 @@ class ConfigurableLock {
   void wait_fast_releases(Ctx& ctx) {
     if constexpr (kRealConcurrency<P>) {
       std::uint32_t streak = 0;
-      while (fast_releases_inflight_.load(std::memory_order_acquire) != 0) {
+      for (;;) {
+        chk_point<P>(ctx, "epoch.check");
+        if (fast_releases_inflight_.load(std::memory_order_acquire) == 0) {
+          break;
+        }
         spin_step(ctx, streak);
       }
     } else {
@@ -1190,9 +1220,11 @@ class ConfigurableLock {
   /// thresholds or attribute slots under meta.
   class QuiesceGuard {
    public:
-    QuiesceGuard(Ctx& ctx, ConfigurableLock& lock) : lock_(lock) {
+    QuiesceGuard(Ctx& ctx, ConfigurableLock& lock) : ctx_(&ctx), lock_(lock) {
       if constexpr (kRealConcurrency<P>) {
+        chk_point<P>(ctx, "qg.arm");
         lock_.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+        chk_event<P>(ctx, ChkEvent::kBreakerArm);
         lock_.wait_fast_releases(ctx);
       } else {
         (void)ctx;
@@ -1200,13 +1232,17 @@ class ConfigurableLock {
     }
     ~QuiesceGuard() {
       if constexpr (kRealConcurrency<P>) {
+        // Event only, no scheduling point: destructors must not throw the
+        // checker's unwind exception.
         lock_.quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+        chk_event<P>(*ctx_, ChkEvent::kBreakerDisarm);
       }
     }
     QuiesceGuard(const QuiesceGuard&) = delete;
     QuiesceGuard& operator=(const QuiesceGuard&) = delete;
 
    private:
+    [[maybe_unused]] Ctx* ctx_;
     ConfigurableLock& lock_;
   };
 
@@ -1218,18 +1254,25 @@ class ConfigurableLock {
   class BreakerToken {
    public:
     BreakerToken() = default;
-    void arm(ConfigurableLock& lock) noexcept {
+    void arm(Ctx& ctx, ConfigurableLock& lock) {
       if constexpr (kRealConcurrency<P>) {
         lock_ = &lock;
+        ctx_ = &ctx;
+        chk_point<P>(ctx, "bt.arm");
         lock.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+        chk_event<P>(ctx, ChkEvent::kBreakerArm);
       } else {
+        (void)ctx;
         (void)lock;
       }
     }
     ~BreakerToken() {
       if constexpr (kRealConcurrency<P>) {
         if (lock_ != nullptr) {
+          // Event only, no scheduling point: destructors must not throw
+          // the checker's unwind exception.
           lock_->quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+          chk_event<P>(*ctx_, ChkEvent::kBreakerDisarm);
         }
       }
     }
@@ -1238,6 +1281,7 @@ class ConfigurableLock {
 
    private:
     ConfigurableLock* lock_ = nullptr;
+    [[maybe_unused]] Ctx* ctx_ = nullptr;
   };
 
   /// Scheduler kinds the single-store release understands: exclusive
@@ -1307,8 +1351,12 @@ class ConfigurableLock {
     }
   }
 
-  bool release_fast_abort() noexcept {
+  /// `began`: the Dekker gate was passed (the checker's fast-release window
+  /// opened), so the matching end-of-window event must be reported.
+  bool release_fast_abort(Ctx& ctx, bool began) {
+    chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    if (began) chk_event<P>(ctx, ChkEvent::kFastReleaseEnd);
     return false;
   }
 
@@ -1320,19 +1368,24 @@ class ConfigurableLock {
   /// below excludes them from configuration operations.
   [[nodiscard]] bool release_fast(Ctx& ctx, ThreadId hint) {
     if (opts_.execution != Execution::kPassive || rw_capable()) return false;
+    chk_point<P>(ctx, "fr.enter");
     fast_releases_inflight_.fetch_add(1, std::memory_order_seq_cst);
+    chk_point<P>(ctx, "fr.gate");
     if (quiesce_breakers_.load(std::memory_order_seq_cst) != 0) {
-      return release_fast_abort();
+      return release_fast_abort(ctx, /*began=*/false);
     }
     // Quiescent: configuration is locked out until our in-flight count
     // drops; we own the modules by holding the state word.
+    chk_event<P>(ctx, ChkEvent::kFastReleaseBegin);
+    chk_point<P>(ctx, "fr.mod");
     const SchedulerKind kind = scheduler_kind_.load(std::memory_order_relaxed);
     if (!fast_kind(kind) || has_pending_.load(std::memory_order_relaxed) ||
         !orphans_.empty()) {
-      return release_fast_abort();
+      return release_fast_abort(ctx, /*began=*/true);
     }
     drain_arrivals(ctx);
     Scheduler<P>& sched = *scheduler_;
+    chk_point<P>(ctx, "fr.cache");
     WaiterRecord<P>* succ = next_grant_.load(std::memory_order_relaxed);
     if (succ != nullptr && !next_grant_valid(*succ, kind, sched, hint)) {
       // Stale pre-selection (priority landscape or hint changed): put it
@@ -1344,13 +1397,14 @@ class ConfigurableLock {
       succ = nullptr;
     }
     if (succ == nullptr) {
+      chk_point<P>(ctx, "fr.select");
       grant_scratch_.clear();
       sched.select(grant_scratch_, hint);
       if (grant_scratch_.empty()) {
         // Nobody eligible: publishing the word free (and waking barging
         // sleepers) is the guarded path's job.
         grant_scratch_.clear();
-        return release_fast_abort();
+        return release_fast_abort(ctx, /*began=*/true);
       }
       succ = grant_scratch_.front();
       grant_scratch_.clear();
@@ -1359,23 +1413,28 @@ class ConfigurableLock {
       next_grant_.store(nullptr, std::memory_order_relaxed);
     }
     // Pre-select the next grantee while we still own the module.
+    chk_point<P>(ctx, "fr.refill");
     refill_next_grant(sched);
     // Every module mutation is complete. Publish ownership: mirrors first,
     // the grant-flag store last - the one store the new owner's critical
     // section is ordered after. The epilogue below the store touches only
     // the in-flight count (hence a counter, not a flag: it may overlap the
     // new owner's own fast release).
+    chk_point<P>(ctx, "fr.publish");
     holders_ = 1;
     const ThreadId tid = succ->tid;
     const bool may_sleep = succ->may_sleep;
     P::store(ctx, owner_, static_cast<std::uint64_t>(tid) + 1);
     monitor_.on_handoff();
     P::store(ctx, succ->granted, 1);
+    chk_event<P>(ctx, ChkEvent::kGranted, tid);
     if (may_sleep) {
       monitor_.on_wakeup();
       P::unblock(ctx, tid);
     }
+    chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
+    chk_event<P>(ctx, ChkEvent::kFastReleaseEnd);
     // Oversubscribed processor: give the grantee a chance to run now
     // rather than after our quantum expires re-contending the lock.
     if (P::oversubscribed(ctx)) P::yield(ctx);
@@ -1427,6 +1486,7 @@ class ConfigurableLock {
 
     // The guarded path must see every waiter: fold a fast-release
     // pre-selection back into its queue before selecting.
+    chk_point<P>(ctx, "gf.reclaim");
     reclaim_next_grant();
     for (;;) {
       if constexpr (kRealConcurrency<P>) drain_arrivals(ctx);
@@ -1448,6 +1508,7 @@ class ConfigurableLock {
       if (grant_scratch_.empty()) {
         // Nobody eligible: publish free and wake sleeping barging waiters.
         P::store(ctx, state_, 0);
+        chk_event<P>(ctx, ChkEvent::kReleaseFree);
         sleepers_.for_each([&](WaiterRecord<P>& w) {
           sleepers_.remove(w);
           queue_wake(w.tid);
@@ -1479,7 +1540,9 @@ class ConfigurableLock {
         // grant_scratch_ without taking meta - the instant it lands. Empty
         // the batch BEFORE publishing so the scratch is never shared.
         WaiterRecord<P>* w = grant_scratch_.front();
+#ifndef RELOCK_CHECK_SEEDED_BUG_1
         grant_scratch_.clear();
+#endif
         P::store(ctx, owner_, static_cast<std::uint64_t>(w->tid) + 1);
         w->registered_with = nullptr;
         w->granted_flag_host = true;
@@ -1487,6 +1550,15 @@ class ConfigurableLock {
         const ThreadId tid = w->tid;
         const bool may_sleep = w->may_sleep;
         P::store(ctx, w->granted, 1);
+        chk_event<P>(ctx, ChkEvent::kGranted, tid);
+#ifdef RELOCK_CHECK_SEEDED_BUG_1
+        // Seeded PR 2 bug (TSan-caught): the shared grant scratch is
+        // cleared only after the grant flag is published, so the new owner
+        // may already be inside its own fast release - using the scratch
+        // without meta - when this late clear lands.
+        chk_point<P>(ctx, "bug1.window");
+        grant_scratch_.clear();
+#endif
         // After this store the record (on the waiter's stack) may
         // disappear; only the captured tid is used below.
         if (may_sleep) queue_wake(tid);
@@ -1500,7 +1572,9 @@ class ConfigurableLock {
         w->granted_flag_host = true;
         monitor_.on_handoff();
         if (w->may_sleep) queue_wake(w->tid);
+        const ThreadId shared_tid = w->tid;
         P::store(ctx, w->granted, 1);
+        chk_event<P>(ctx, ChkEvent::kGranted, shared_tid);
         // After this store the record (on the waiter's stack) may disappear
         // once meta is released; only the captured tids are used below.
       }
@@ -1524,6 +1598,7 @@ class ConfigurableLock {
     // and reclaim its pre-selection (below, under meta) or the cached
     // record would dangle on a destroyed queue.
     QuiesceGuard quiesce(ctx, *this);
+    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
     monitor_.on_reconfiguration(/*scheduler_change=*/true);
     (void)P::load(ctx, sched_flag_);                    // 1R
     const auto code = static_cast<std::uint64_t>(kind);
@@ -1561,8 +1636,12 @@ class ConfigurableLock {
     }
     pending_kind_.store(kind, std::memory_order_relaxed);
     has_pending_.store(true, std::memory_order_relaxed);
+    // New registrations target the incoming module from here on: a new
+    // configuration generation for the fairness oracles.
+    chk_event<P>(ctx, ChkEvent::kSchedulerInstalled);
     const bool immediate = scheduler_ == nullptr || scheduler_->empty();
     if (immediate) install_pending(ctx);                // W5: flag reset
+    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
 

@@ -16,6 +16,7 @@
 
 #include "relock/core/attributes.hpp"
 #include "relock/core/waiter.hpp"
+#include "relock/platform/chk_hooks.hpp"
 #include "relock/platform/platform.hpp"
 
 namespace relock {
@@ -34,7 +35,13 @@ class GrantBatch {
   using value_type = WaiterRecord<P>*;
   static constexpr std::size_t kInline = 8;
 
+  // Both mutators are checker scheduling points (relock-check's shared-
+  // scratch oracle: clear opens a session, pushes must come from its
+  // owner); clear is therefore not annotated noexcept, though it never
+  // throws outside the checker.
+
   void push_back(value_type w) {
+    chk_scratch<P>(/*begin=*/false);
     if (size_ < kInline) {
       inline_[size_] = w;
     } else {
@@ -43,7 +50,8 @@ class GrantBatch {
     ++size_;
   }
 
-  void clear() noexcept {
+  void clear() {
+    chk_scratch<P>(/*begin=*/true);
     size_ = 0;
     spill_.clear();  // capacity retained
   }

@@ -1,0 +1,87 @@
+// Yield-point instrumentation hooks for the relock-check model checker.
+//
+// Lock algorithms call chk_point / chk_event / chk_scratch at every shared-
+// memory transition that does NOT already go through a platform Word
+// operation: the configuration-quiescence epoch counters, the next_grant_
+// pre-selection cache, the shared grant scratch, the arrival-link publish
+// window, and the seqlock attribute slots all live in host-side atomics, so
+// without these hooks a controlled scheduler could not interleave threads
+// between them.
+//
+// On ordinary platforms (native, sim, vthreads) none of the hook statics
+// exist and every call compiles to nothing - the `if constexpr (requires
+// ...)` test is resolved at template instantiation time, so native builds
+// carry zero overhead, not even a branch. The check platform
+// (include/relock/check/platform.hpp) defines the statics and turns each
+// call into a scheduling point of the controlled scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace relock {
+
+/// Semantic transitions reported to the checker's oracles. Events are
+/// bookkeeping, not scheduling points: each is emitted in the same atomic
+/// step as the transition it describes, so oracle state can never be stale
+/// relative to the interleaving being explored.
+enum class ChkEvent : std::uint8_t {
+  kRegistered,         ///< waiter published on the arrival stack / a queue
+  kGranted,            ///< grant flag set for thread `arg`
+  kReleaseFree,        ///< release published the state word free
+  kFastReleaseBegin,   ///< fast release passed the Dekker gate
+  kFastReleaseEnd,     ///< fast release retired its in-flight count
+  kConfigMutateBegin,  ///< configuration operation starts mutating modules
+  kConfigMutateEnd,    ///< configuration operation done mutating
+  kSchedulerInstalled, ///< new registrations now target a new module
+  kThresholdSet,       ///< priority threshold changed to (Priority)arg
+  kTimeoutReturn,      ///< conditional acquisition returns false for `arg`
+  kBreakerArm,         ///< quiesce breaker count incremented
+  kBreakerDisarm,      ///< quiesce breaker count decremented
+};
+
+/// A scheduling point: under the checker the calling model thread may be
+/// preempted here. `tag` names the transition in failure traces.
+template <typename P>
+inline void chk_point(typename P::Context& ctx, const char* tag) {
+  if constexpr (requires { P::chk_point(ctx, tag); }) {
+    P::chk_point(ctx, tag);
+  } else {
+    (void)ctx;
+    (void)tag;
+  }
+}
+
+/// An oracle event (see ChkEvent). Not a scheduling point.
+template <typename P>
+inline void chk_event(typename P::Context& ctx, ChkEvent e,
+                      std::uint64_t arg = 0) {
+  if constexpr (requires { P::chk_event(ctx, e, arg); }) {
+    P::chk_event(ctx, e, arg);
+  } else {
+    (void)ctx;
+    (void)e;
+    (void)arg;
+  }
+}
+
+/// A scheduling point inside context-free shared structures (GrantBatch):
+/// the grant scratch is mutated by whichever thread owns the release module,
+/// with no Context parameter in scope. The check platform resolves the
+/// current model thread through the engine; other platforms compile this
+/// out.
+///
+/// `begin` marks a clear() - the start of a new scratch session owned by
+/// the calling thread. Every other mutation must come from the session
+/// owner: two releasers interleaving scratch sessions is exactly the shared-
+/// scratch race the quiescence epoch exists to prevent, and the checker
+/// reports it as an oracle violation.
+template <typename P>
+inline void chk_scratch(bool begin) {
+  if constexpr (requires { P::chk_scratch(begin); }) {
+    P::chk_scratch(begin);
+  } else {
+    (void)begin;
+  }
+}
+
+}  // namespace relock

@@ -1,0 +1,65 @@
+// Deep exploration pass, run under the `stress` ctest label (nightly /
+// ctest -L stress with RELOCK_CHECK_DEEP=1): raises the DFS preemption
+// bound to 3 across the scenario library. fanout3 at bound 3 alone is
+// ~2.1M schedules (~1 min); the 2-thread scenarios add a long tail of
+// higher-preemption interleavings the per-PR smoke bound cannot afford.
+// Without RELOCK_CHECK_DEEP the tests skip, keeping the default (tier-1)
+// ctest run fast.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "check_scenarios.hpp"
+#include "relock/check/strategies.hpp"
+
+namespace {
+
+using namespace relock::chk;
+
+void expect_exhaustive(const Scenario& s, std::uint32_t bound) {
+  if (std::getenv("RELOCK_CHECK_DEEP") == nullptr) {
+    GTEST_SKIP() << "set RELOCK_CHECK_DEEP=1 for the deep pass "
+                    "(the stress CI job does)";
+  }
+  Engine eng;
+  DfsStrategy st(bound);
+  const ExploreResult r = eng.explore(s, st);
+  EXPECT_FALSE(r.failed) << r.summary();
+  EXPECT_TRUE(r.complete) << r.summary();
+  EXPECT_TRUE(st.exhausted()) << r.summary();
+  std::printf("[relock-check] %-16s %-12s %8llu schedules %10llu points\n",
+              s.name.c_str(), st.describe().c_str(),
+              static_cast<unsigned long long>(r.schedules),
+              static_cast<unsigned long long>(r.steps));
+}
+
+TEST(RelockCheckDeep, Handoff2Bound3) {
+  expect_exhaustive(scenarios::handoff2(), 3);
+}
+
+TEST(RelockCheckDeep, ParkedHandoff2Bound3) {
+  expect_exhaustive(scenarios::parked_handoff2(), 3);
+}
+
+TEST(RelockCheckDeep, Epoch2Bound3) {
+  expect_exhaustive(scenarios::epoch2(), 3);
+}
+
+TEST(RelockCheckDeep, Possess2Bound3) {
+  expect_exhaustive(scenarios::possess2(), 3);
+}
+
+TEST(RelockCheckDeep, Timeout2Bound3) {
+  expect_exhaustive(scenarios::timeout2(), 3);
+}
+
+TEST(RelockCheckDeep, Swap2Bound3) {
+  expect_exhaustive(scenarios::swap2(), 3);
+}
+
+TEST(RelockCheckDeep, Fanout3Bound3) {
+  expect_exhaustive(scenarios::fanout3(), 3);
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Scenario library for the relock-check tests: each function returns a
+// reusable chk::Scenario whose build hook constructs a fresh
+// ConfigurableLock<CheckPlatform> per schedule (held by shared_ptr so the
+// lock outlives the last model thread) and registers the thread bodies.
+//
+// Scenario sizing is deliberate: the 2-thread scenarios are small enough
+// for *exhaustive* preemption-bounded DFS (check_smoke_test), the 3-4
+// thread ones are for randomized PCT exploration (check_random_test) and
+// the seeded-bug regressions.
+#pragma once
+
+#include <memory>
+
+#include "relock/check/engine.hpp"
+#include "relock/check/platform.hpp"
+#include "relock/core/configurable_lock.hpp"
+
+namespace relock::chk::scenarios {
+
+using Lock = relock::ConfigurableLock<CheckPlatform>;
+
+inline std::shared_ptr<Lock> make_lock(
+    ScenarioFrame& f, SchedulerKind kind,
+    LockAttributes attrs = LockAttributes::spin()) {
+  Lock::Options o;
+  o.scheduler = kind;
+  o.attributes = attrs;
+  return std::make_shared<Lock>(f.domain(), o);
+}
+
+/// lock; critical section; unlock - the basic oracle-annotated cycle.
+inline void lock_cycle(const std::shared_ptr<Lock>& lk, Context& ctx) {
+  lk->lock(ctx);
+  ctx.cs_enter();
+  ctx.cs_exit();
+  lk->unlock(ctx);
+}
+
+/// Two spinning threads race one FCFS lock: registration, lock-free
+/// arrival, direct handoff, lost-release guard, next_grant_ pre-selection.
+inline Scenario handoff2() {
+  Scenario s;
+  s.name = "handoff2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    for (int i = 0; i < 2; ++i) {
+      f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    }
+  };
+  return s;
+}
+
+/// Same race with a blocking waiting policy: waiters park on the modeled
+/// parker and releases must wake them - the grant/park handshake whose
+/// split-deposit variant is seeded bug 2. The holder yields between its
+/// critical section and the release so the contender's registration and
+/// park can interleave with the handoff without spending DFS preemptions.
+inline Scenario parked_handoff2() {
+  Scenario s;
+  s.name = "parked_handoff2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs, LockAttributes::blocking());
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// A waiting-policy reconfiguration (QuiesceGuard: breaker arm, epoch
+/// drain) races a lock/unlock stream: epoch-safety oracle territory.
+inline Scenario epoch2() {
+  Scenario s;
+  s.name = "epoch2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      lk->configure_waiting(ctx, LockAttributes::backoff_spin(4));
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// Possession protocol around a reconfiguration vs. a contended cycle:
+/// try_possess arms the quiescence breaker for the whole window.
+inline Scenario possess2() {
+  Scenario s;
+  s.name = "possess2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->possess(ctx, AttributeClass::kWaitingPolicy);
+      lk->configure_waiting(ctx, LockAttributes::spin());
+      lk->release_possession(ctx, AttributeClass::kWaitingPolicy);
+      lock_cycle(lk, ctx);
+    });
+  };
+  return s;
+}
+
+/// A conditional (timed) acquisition races the holder's release: the
+/// timeout may fire before, during, or after the grant; withdrawal
+/// soundness and the timed waiter's standing breaker are the targets.
+inline Scenario timeout2() {
+  Scenario s;
+  s.name = "timeout2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs, LockAttributes::blocking());
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      if (lk->lock_for(ctx, 300)) {
+        ctx.cs_enter();
+        ctx.cs_exit();
+        lk->unlock(ctx);
+      }
+    });
+  };
+  return s;
+}
+
+/// A scheduler swap (FCFS -> priority queue) races a contended cycle:
+/// configuration delay, pending-module registration, generation rule.
+inline Scenario swap2() {
+  Scenario s;
+  s.name = "swap2";
+  s.fairness = FairnessMode::kNone;  // two Gammas: only the generation rule
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      lk->configure_scheduler(ctx, SchedulerKind::kPriorityQueue);
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(2, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// Three spinning threads on one FCFS lock. Deep enough that a guarded
+/// grant (select-empty fast-release abort with a late-arriving waiter) can
+/// overlap the new owner's own fast release - the window of seeded bug 1.
+inline Scenario fanout3() {
+  Scenario s;
+  s.name = "fanout3";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    for (int i = 0; i < 3; ++i) {
+      f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    }
+  };
+  return s;
+}
+
+/// Mixed-policy churn with fault injection: possession-window
+/// reconfiguration, spurious parker tokens, and an oversubscription flip
+/// mid-stream. PCT fodder.
+inline Scenario churn3() {
+  Scenario s;
+  s.name = "churn3";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs,
+                        LockAttributes{/*spin=*/2, /*delay=*/0,
+                                       /*sleep=*/400, /*timeout=*/0});
+    f.add_thread(1, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      if (lk->try_possess(ctx, AttributeClass::kWaitingPolicy)) {
+        lk->configure_waiting(ctx, LockAttributes::blocking());
+        lk->release_possession(ctx, AttributeClass::kWaitingPolicy);
+      }
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      ctx.spurious_unpark(0);
+      lock_cycle(lk, ctx);
+      ctx.flip_oversubscribed();
+      ctx.spurious_unpark(1);
+      lock_cycle(lk, ctx);
+    });
+  };
+  return s;
+}
+
+/// Four distinct-priority threads on a priority-queue lock: the priority
+/// fairness oracle (max first, FIFO among equals) on every schedule.
+inline Scenario prio4() {
+  Scenario s;
+  s.name = "prio4";
+  s.fairness = FairnessMode::kPriority;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kPriorityQueue,
+                        LockAttributes::blocking());
+    for (int i = 0; i < 4; ++i) {
+      f.add_thread(static_cast<Priority>(i + 1),
+                   [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    }
+  };
+  return s;
+}
+
+/// Threshold scheduler with a mid-stream threshold raise and reset: the
+/// threshold oracle (no grant below the active threshold; FCFS among the
+/// eligible) plus the reset's rescue grant of parked ineligible waiters.
+inline Scenario threshold3() {
+  Scenario s;
+  s.name = "threshold3";
+  s.fairness = FairnessMode::kThreshold;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kPriorityThreshold,
+                        LockAttributes::blocking());
+    f.add_thread(5, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      lk->set_priority_threshold(ctx, 3);
+      lock_cycle(lk, ctx);
+      lk->set_priority_threshold(ctx, 0);
+    });
+    f.add_thread(2, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    f.add_thread(4, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+}  // namespace relock::chk::scenarios

@@ -1,0 +1,84 @@
+// relock-check smoke suite: exhaustive preemption-bounded DFS over the
+// 2-thread scenarios (and bounded-depth passes over the 3-thread one),
+// asserting every schedule satisfies every oracle and that the bounded
+// schedule space was explored *completely*. Schedule counts are printed so
+// EXPERIMENTS.md can cite real exploration sizes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "check_scenarios.hpp"
+#include "relock/check/strategies.hpp"
+
+namespace {
+
+using namespace relock::chk;
+
+void expect_exhaustive(const Scenario& s, std::uint32_t bound) {
+  Engine eng;
+  DfsStrategy st(bound, /*max_schedules=*/0);
+  const ExploreResult r = eng.explore(s, st);
+  EXPECT_FALSE(r.failed) << r.summary();
+  EXPECT_TRUE(r.complete) << r.summary();
+  EXPECT_TRUE(st.exhausted()) << "bounded space not exhausted: "
+                              << r.summary();
+  std::printf("[relock-check] %-16s %-12s %8llu schedules %10llu points\n",
+              s.name.c_str(), st.describe().c_str(),
+              static_cast<unsigned long long>(r.schedules),
+              static_cast<unsigned long long>(r.steps));
+}
+
+TEST(RelockCheckSmoke, Handoff2Exhaustive) {
+  expect_exhaustive(scenarios::handoff2(), 2);
+}
+
+TEST(RelockCheckSmoke, ParkedHandoff2Exhaustive) {
+  expect_exhaustive(scenarios::parked_handoff2(), 2);
+}
+
+TEST(RelockCheckSmoke, Epoch2Exhaustive) {
+  expect_exhaustive(scenarios::epoch2(), 2);
+}
+
+TEST(RelockCheckSmoke, Possess2Exhaustive) {
+  expect_exhaustive(scenarios::possess2(), 2);
+}
+
+TEST(RelockCheckSmoke, Timeout2Exhaustive) {
+  expect_exhaustive(scenarios::timeout2(), 2);
+}
+
+TEST(RelockCheckSmoke, Swap2Exhaustive) {
+  expect_exhaustive(scenarios::swap2(), 2);
+}
+
+// 3 threads: bound 2 is ~57k schedules (~2s); bound 3 (~2.1M schedules,
+// ~1 min) runs under the `stress` ctest label, see check_deep_test.
+TEST(RelockCheckSmoke, Fanout3Bound2Exhaustive) {
+  expect_exhaustive(scenarios::fanout3(), 2);
+}
+
+// The engine is deterministic: the same strategy explores the identical
+// schedule space, point for point.
+TEST(RelockCheckSmoke, ExplorationIsDeterministic) {
+  ExploreResult runs[2];
+  for (auto& r : runs) {
+    Engine eng;
+    DfsStrategy st(2);
+    r = eng.explore(scenarios::handoff2(), st);
+  }
+  EXPECT_EQ(runs[0].schedules, runs[1].schedules);
+  EXPECT_EQ(runs[0].steps, runs[1].steps);
+  EXPECT_FALSE(runs[0].failed);
+}
+
+// Replaying a trace that does not belong to the scenario is flagged as
+// divergence instead of silently exploring something else.
+TEST(RelockCheckSmoke, ReplayFlagsDivergence) {
+  Engine eng;
+  const ExploreResult r = eng.replay(scenarios::handoff2(), "r0.r0");
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.failure.find("diverged"), std::string::npos) << r.failure;
+}
+
+}  // namespace

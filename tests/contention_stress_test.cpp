@@ -21,11 +21,14 @@
 
 #include "relock/core/configurable_lock.hpp"
 #include "relock/platform/native.hpp"
+#include "stress_seed.hpp"
 
 namespace relock {
 namespace {
 
 using native::NativePlatform;
+using testing::SplitMix64;
+using testing::stress_seed;
 using Lock = ConfigurableLock<NativePlatform>;
 
 Nanos stress_window_ns() {
@@ -82,12 +85,11 @@ TEST(ContentionStress, ReconfigurationUnderLoad) {
     static const LockAttributes kPolicies[] = {
         LockAttributes::spin(), LockAttributes::combined(100),
         LockAttributes::blocking()};
-    std::size_t i = 0;
+    SplitMix64 rng(stress_seed());
     const Nanos deadline = monotonic_now() + stress_window_ns();
     while (monotonic_now() < deadline) {
-      lock.configure_scheduler(ctx, kKinds[i % std::size(kKinds)]);
-      lock.configure_waiting(ctx, kPolicies[i % std::size(kPolicies)]);
-      ++i;
+      lock.configure_scheduler(ctx, kKinds[rng.below(std::size(kKinds))]);
+      lock.configure_waiting(ctx, kPolicies[rng.below(std::size(kPolicies))]);
       std::this_thread::yield();
     }
     stop.store(true, std::memory_order_relaxed);
@@ -132,20 +134,19 @@ TEST(ContentionStress, PerThreadAttributeChurn) {
   }
   threads.emplace_back([&] {
     native::Context ctx(dom);
+    SplitMix64 rng(stress_seed() ^ 0x5eedu);
     const Nanos deadline = monotonic_now() + stress_window_ns();
-    std::size_t i = 0;
     while (monotonic_now() < deadline) {
       const ThreadId victim =
-          worker_ids[i % workers].load(std::memory_order_relaxed);
+          worker_ids[rng.below(workers)].load(std::memory_order_relaxed);
       if (victim != kInvalidThread) {
-        if (i % 2 == 0) {
+        if (rng.below(2) == 0) {
           lock.set_thread_attributes(
               ctx, victim, LockAttributes::combined(50));
         } else {
           lock.clear_thread_attributes(ctx, victim);
         }
       }
-      ++i;
       std::this_thread::yield();
     }
     stop.store(true, std::memory_order_relaxed);
@@ -178,13 +179,16 @@ TEST(ContentionStress, TimeoutsRaceGrants) {
   for (unsigned t = 0; t < workers; ++t) {
     threads.emplace_back([&, t] {
       native::Context ctx(dom);
+      SplitMix64 rng(stress_seed() ^ (t * 0x9E3779B97F4A7C15ull));
       while (!stop.load(std::memory_order_relaxed)) {
-        // Mix unconditional holders with short conditional waiters.
+        // Mix unconditional holders with short conditional waiters whose
+        // deadlines (5-40 us) are jittered so timeouts land at every phase
+        // of the grant chain.
         if (t % 2 == 0) {
           lock.lock(ctx);
           oracle.enter_cs();
           lock.unlock(ctx);
-        } else if (lock.lock_for(ctx, 20'000)) {  // 20 us
+        } else if (lock.lock_for(ctx, 5'000 + rng.below(35'000))) {
           oracle.enter_cs();
           lock.unlock(ctx);
         } else {

@@ -20,11 +20,14 @@
 
 #include "relock/core/configurable_lock.hpp"
 #include "relock/platform/native.hpp"
+#include "stress_seed.hpp"
 
 namespace relock {
 namespace {
 
 using native::NativePlatform;
+using testing::SplitMix64;
+using testing::stress_seed;
 using Lock = ConfigurableLock<NativePlatform>;
 
 Nanos stress_window_ns() {
@@ -60,6 +63,7 @@ TEST(HandoffEpoch, FcfsOrderSurvivesWaitingPolicyFlips) {
       LockAttributes::combined(100)};
 
   native::Context main_ctx(dom);
+  SplitMix64 rng(stress_seed());
   for (int round = 0; round < kRounds; ++round) {
     lock.lock(main_ctx);
 
@@ -79,15 +83,14 @@ TEST(HandoffEpoch, FcfsOrderSurvivesWaitingPolicyFlips) {
       // Break the epoch mid-arrival: the reconfiguration must reclaim any
       // pre-selected successor without dropping or reordering it.
       lock.configure_waiting(main_ctx,
-                             kPolicies[(i + static_cast<std::uint32_t>(
-                                                round)) %
-                                       std::size(kPolicies)]);
+                             kPolicies[rng.below(std::size(kPolicies))]);
     }
 
     lock.unlock(main_ctx);  // start the handoff chain
     // More epoch flips while grants are in flight.
     for (std::size_t f = 0; f < 8; ++f) {
-      lock.configure_waiting(main_ctx, kPolicies[f % std::size(kPolicies)]);
+      lock.configure_waiting(main_ctx,
+                             kPolicies[rng.below(std::size(kPolicies))]);
       std::this_thread::yield();
     }
     for (auto& t : team) t.join();
@@ -269,13 +272,12 @@ TEST(HandoffEpoch, ThresholdChurnStormKeepsExclusionAndConservation) {
     static const LockAttributes kPolicies[] = {
         LockAttributes::spin(), LockAttributes::combined(100),
         LockAttributes::blocking()};
-    std::size_t i = 0;
+    SplitMix64 rng(stress_seed() ^ 0x5707u);
     const Nanos deadline = monotonic_now() + stress_window_ns();
     while (monotonic_now() < deadline) {
       lock.set_priority_threshold(
-          ctx, static_cast<Priority>(i % (workers + 1)));  // 0..6
-      lock.configure_waiting(ctx, kPolicies[i % std::size(kPolicies)]);
-      ++i;
+          ctx, static_cast<Priority>(rng.below(workers + 1)));  // 0..6
+      lock.configure_waiting(ctx, kPolicies[rng.below(std::size(kPolicies))]);
       std::this_thread::yield();
     }
     lock.set_priority_threshold(ctx, 0);  // let the storm drain

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -155,6 +156,38 @@ TEST(NativeDomain, IdsAreRecycled) {
   }
   native::Context b(dom);
   EXPECT_EQ(b.self(), first);
+}
+
+TEST(NativeDomain, RegistrationBeyondCapacityThrows) {
+  native::Domain dom(2);
+  native::Context a(dom), b(dom);
+  EXPECT_EQ(dom.registered_count(), 2u);
+  EXPECT_THROW(native::Context c(dom), std::length_error);
+  // The failed registration must not consume a slot.
+  EXPECT_EQ(dom.registered_count(), 2u);
+}
+
+// A slot freed by a *thread exiting* (not just a scope ending on the same
+// thread) is reusable: the unregister handshake must fully release it.
+TEST(NativeDomain, SlotReusableAfterThreadExit) {
+  native::Domain dom(2);
+  native::Context keeper(dom);
+  ThreadId freed = kInvalidThread;
+  std::thread worker([&] {
+    native::Context ctx(dom);
+    freed = ctx.self();
+  });
+  worker.join();
+  EXPECT_EQ(dom.registered_count(), 1u);
+
+  // At capacity 2 the only free slot is the exited thread's.
+  native::Context reused(dom);
+  EXPECT_EQ(reused.self(), freed);
+  EXPECT_EQ(dom.registered_count(), 2u);
+
+  // The recycled slot is fully functional: its parker receives tokens.
+  native::NativePlatform::unblock(keeper, reused.self());
+  native::NativePlatform::block(reused);  // token present: returns at once
 }
 
 TEST(NativeDomain, UnparkByIdWakesThread) {

@@ -1,0 +1,52 @@
+// Seeded randomness for the native stress suites. OS thread scheduling
+// still varies run to run, but every test-side random choice (which policy
+// to flip to, which threshold to sweep, which victim to retarget) derives
+// from one seed that is printed on start and can be pinned with
+// RELOCK_TEST_SEED, so a failing configuration sequence is reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace relock::testing {
+
+/// Process-wide stress seed: RELOCK_TEST_SEED if set, otherwise derived
+/// from the monotonic clock. Printed exactly once.
+inline std::uint64_t stress_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t s;
+    const char* env = std::getenv("RELOCK_TEST_SEED");
+    if (env != nullptr && *env != '\0') {
+      s = std::strtoull(env, nullptr, 0);
+    } else {
+      s = static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+    }
+    std::printf("[stress] RELOCK_TEST_SEED=%llu (set to reproduce)\n",
+                static_cast<unsigned long long>(s));
+    std::fflush(stdout);
+    return s;
+  }();
+  return seed;
+}
+
+/// splitmix64: small, fast, and statistically fine for schedule jitter.
+/// Give each thread its own stream (`SplitMix64(stress_seed() ^ salt)`).
+struct SplitMix64 {
+  explicit SplitMix64(std::uint64_t seed) : x(seed) {}
+
+  std::uint64_t next() {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  std::uint64_t x;
+};
+
+}  // namespace relock::testing
