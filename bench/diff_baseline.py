@@ -3,20 +3,34 @@
 
 Usage:
     diff_baseline.py CURRENT.json BASELINE.json [--tolerance 0.25]
+                     [--warn-drop 0.05] [--fail-drop 0.15]
 
 Compares ops/sec cell by cell (matched on threads/scheduler/policy; cells
-present in only one file are reported and skipped). A cell regresses when
+present in only one file are reported and skipped).
 
-    current_ops < baseline_ops * tolerance
+Two gates are available and compose:
 
-The default tolerance is deliberately generous (0.25: flag only a 4x drop):
-contended cells on a shared CI box measure scheduler rotation as much as
-the lock, and run-to-run variance of 2-3x is normal there. The job exists
-to catch order-of-magnitude collapses (a convoy, a lost-wakeup spin storm),
-not single-digit percentages. Cells whose `oversubscribed` tags differ
-between the two files are skipped: the regimes are not comparable.
+  --tolerance T   hard floor: a cell regresses when
+                      current_ops < baseline_ops * T
+                  The default (0.25: flag only a 4x drop) is deliberately
+                  generous: contended cells on a shared CI box measure
+                  scheduler rotation as much as the lock, and run-to-run
+                  variance of 2-3x is normal there. This gate exists to
+                  catch order-of-magnitude collapses (a convoy, a
+                  lost-wakeup spin storm), not single-digit percentages.
 
-Exit status: 0 = no regression, 1 = at least one regression, 2 = usage.
+  --warn-drop W / --fail-drop F
+                  soft gate on the fractional drop 1 - current/baseline:
+                  a drop above W prints a WARN (exit stays 0), a drop
+                  above F is a REGRESSION (exit 1). Off by default; meant
+                  for quiet dedicated runners where a 5-15% drift is
+                  signal, not noise.
+
+Cells whose `oversubscribed` tags differ between the two files are skipped:
+the regimes are not comparable.
+
+Exit status: 0 = no regression (warnings allowed), 1 = at least one
+regression, 2 = usage.
 """
 
 import argparse
@@ -40,6 +54,12 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="fail when current < baseline * TOLERANCE")
+    ap.add_argument("--warn-drop", type=float, default=None,
+                    help="warn when current drops more than this fraction "
+                         "below baseline (e.g. 0.05 = warn past a 5%% drop)")
+    ap.add_argument("--fail-drop", type=float, default=None,
+                    help="fail when current drops more than this fraction "
+                         "below baseline (e.g. 0.15 = fail past a 15%% drop)")
     args = ap.parse_args()
 
     current, cur_doc = load_cells(args.current)
@@ -52,6 +72,7 @@ def main():
               f"comparison is indicative only")
 
     regressions = []
+    warnings = 0
     compared = 0
     for key in sorted(baseline.keys() & current.keys()):
         cur, base = current[key], baseline[key]
@@ -62,10 +83,18 @@ def main():
         compared += 1
         ratio = (cur["ops_per_sec"] / base["ops_per_sec"]
                  if base["ops_per_sec"] > 0 else float("inf"))
+        drop = 1.0 - ratio
         status = "OK"
-        if cur["ops_per_sec"] < base["ops_per_sec"] * args.tolerance:
+        if args.warn_drop is not None and drop > args.warn_drop:
+            status = "WARN"
+            warnings += 1
+        if args.fail_drop is not None and drop > args.fail_drop:
             status = "REGRESSION"
             regressions.append(key)
+        if cur["ops_per_sec"] < base["ops_per_sec"] * args.tolerance:
+            if status != "REGRESSION":
+                regressions.append(key)
+            status = "REGRESSION"
         threads, sched, policy = key
         print(f"{status:>10}  {threads:>3} {sched:<16} {policy:<14} "
               f"{base['ops_per_sec']:>14.0f} -> {cur['ops_per_sec']:>14.0f} "
@@ -76,8 +105,12 @@ def main():
     for key in sorted(current.keys() - baseline.keys()):
         print(f"       NEW  {key} present only in current")
 
-    print(f"\n{compared} cells compared, {len(regressions)} regression(s), "
-          f"tolerance {args.tolerance}")
+    print(f"\n{compared} cells compared, {warnings} warning(s), "
+          f"{len(regressions)} regression(s), tolerance {args.tolerance}"
+          + (f", warn-drop {args.warn_drop}" if args.warn_drop is not None
+             else "")
+          + (f", fail-drop {args.fail_drop}" if args.fail_drop is not None
+             else ""))
     return 1 if regressions else 0
 
 

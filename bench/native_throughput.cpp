@@ -14,6 +14,16 @@
 // Modes: --smoke   reduced sweep (1/2/4 threads, fewer cells, 100 ms
 //                  windows unless RELOCK_NT_MS overrides) for CI, where the
 //                  JSON is diffed against bench/baselines/.
+//        --trace F write the capture of the traced cells to F as Chrome
+//                  Trace JSON (meaningful in the RELOCK_TRACE build; other
+//                  builds write an empty, valid trace).
+//
+// The native_throughput_trace binary is this same source compiled with
+// RELOCK_TRACE=1: it runs the identical sweep (the JSON diff against the
+// plain binary is the compiled-in-but-idle tracer cost) and then re-runs
+// the smoke cells with recording enabled ("*_traced" policy rows, written
+// to BENCH_native_throughput_trace.json) - the three columns of the
+// tracer-overhead table in EXPERIMENTS.md.
 //
 // Every cell records the concurrency it actually ran at: `hw_concurrency`
 // is the host's processor count and each result carries `oversubscribed`,
@@ -31,8 +41,10 @@
 #include <vector>
 
 #include "relock/core/configurable_lock.hpp"
+#include "relock/monitor/reporter.hpp"
 #include "relock/platform/clock.hpp"
 #include "relock/platform/native.hpp"
+#include "relock/trace/trace.hpp"
 
 namespace {
 
@@ -170,8 +182,11 @@ CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") smoke = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--trace" && i + 1 < argc) trace_path = argv[++i];
   }
   const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::uint32_t max_threads = static_cast<std::uint32_t>(env_u64(
@@ -225,12 +240,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  FILE* f = std::fopen("BENCH_native_throughput.json", "w");
+#ifdef RELOCK_TRACE
+  // Recording-enabled overhead cells: the smoke sweep's fcfs/spin and
+  // handoff/spin cells again, with the registry live. The rings are sized
+  // generously and preattached so the measured cost is the steady-state
+  // one (clock fetch_add + SPSC push), not attach-time allocation. Ring
+  // overflow during a long window is expected and by design costs LESS
+  // than a successful push, so drop-newest never flatters the numbers.
+  {
+    auto& reg = trace::Registry::instance();
+    reg.set_ring_capacity(1u << 15);
+    reg.preattach(static_cast<ThreadId>(std::min(64u, max_threads * 2)));
+    const PolicySpec traced{"spin_traced", LockAttributes::spin()};
+    for (const SchedSpec& sc :
+         {SchedSpec{"fcfs", SchedulerKind::kFcfs},
+          SchedSpec{"handoff", SchedulerKind::kHandoff}}) {
+      for (const std::uint32_t n : {1u, 2u, 4u}) {
+        if (n > max_threads) break;
+        reg.set_enabled(true);
+        const CellResult r = run_cell(n, sc, traced, window_ns);
+        reg.set_enabled(false);
+        std::printf("%8u %-16s %-14s %14.0f %12.1f %12.1f %8s\n", r.threads,
+                    r.scheduler, r.policy, r.ops_per_sec,
+                    static_cast<double>(r.p50_wait_ns) / 1000.0,
+                    static_cast<double>(r.p99_wait_ns) / 1000.0,
+                    r.oversubscribed ? "yes" : "no");
+        std::fflush(stdout);
+        results.push_back(r);
+      }
+    }
+  }
+  const char* json_name = "BENCH_native_throughput_trace.json";
+  const char* bench_name = "native_throughput_trace";
+#else
+  const char* json_name = "BENCH_native_throughput.json";
+  const char* bench_name = "native_throughput";
+#endif
+
+  if (!trace_path.empty()) {
+    // Drains whatever the traced cells buffered; an OFF build writes an
+    // empty (but valid and loadable) trace.
+    std::uint64_t dropped = 0;
+    const long n = write_chrome_trace(trace_path, &dropped);
+    if (n < 0) {
+      std::perror(trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%ld events, %llu dropped)\n", trace_path.c_str(),
+                n, static_cast<unsigned long long>(dropped));
+  }
+
+  FILE* f = std::fopen(json_name, "w");
   if (f == nullptr) {
-    std::perror("BENCH_native_throughput.json");
+    std::perror(json_name);
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"native_throughput\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
   std::fprintf(f, "  \"hw_concurrency\": %u,\n", hw);
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"window_ms_per_cell\": %llu,\n",
@@ -252,7 +317,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("\nwrote BENCH_native_throughput.json (%zu cells)\n",
-              results.size());
+  std::printf("\nwrote %s (%zu cells)\n", json_name, results.size());
   return 0;
 }

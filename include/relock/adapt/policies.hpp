@@ -51,6 +51,21 @@ struct StatsDelta {
 /// Computes the delta between two snapshots.
 [[nodiscard]] inline StatsDelta delta_between(const LockStats& prev,
                                               const LockStats& cur) {
+  // A monitor reset between the two snapshots restarts every counter
+  // window, so `prev` is not a comparable floor: subtracting it would
+  // underflow the unsigned counters into astronomically large "deltas"
+  // (the pre-generation-counter bug). The window since the reset is
+  // exactly what `cur` holds, so use it as the delta.
+  if (cur.reset_generation != prev.reset_generation) {
+    StatsDelta d;
+    d.acquisitions = cur.acquisitions;
+    d.contended = cur.contended_acquisitions;
+    d.blocks = cur.blocks;
+    d.timeouts = cur.timeouts;
+    d.mean_hold_ns = cur.mean_hold_ns();
+    d.mean_wait_ns = cur.mean_wait_ns();
+    return d;
+  }
   StatsDelta d;
   d.acquisitions = cur.acquisitions - prev.acquisitions;
   d.contended = cur.contended_acquisitions - prev.contended_acquisitions;

@@ -132,8 +132,9 @@ struct ExploreResult {
   std::string failure;       ///< first oracle violation, human-readable
   std::string trace;         ///< replayable action trace of the failure
   std::string failure_tag;   ///< tag of the last point before the failure
-  /// Compact event log of the failing schedule ((tid, event, arg) triples);
-  /// replay equality is asserted on this.
+  /// Compact event log ((tid, event, arg) triples) of the failing schedule,
+  /// or - on a clean completion - of the last schedule run; replay equality
+  /// and trace-vs-checker equality are asserted on this.
   std::vector<std::uint64_t> events;
 
   [[nodiscard]] std::string summary() const;

@@ -60,6 +60,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -71,8 +72,19 @@
 #include "relock/platform/backoff.hpp"
 #include "relock/platform/chk_hooks.hpp"
 #include "relock/platform/platform.hpp"
+#include "relock/platform/trace_hooks.hpp"
 
 namespace relock {
+
+/// Thrown on lock API misuse that must not slip through release builds:
+/// the silent fallback would corrupt lock semantics (e.g. granting
+/// exclusive ownership to a caller that asked for shared access), so these
+/// checks are hard errors in every build type - unlike the defensive
+/// asserts on internal invariants, which NDEBUG still compiles away.
+class LockUsageError : public std::logic_error {
+ public:
+  explicit LockUsageError(const char* what) : std::logic_error(what) {}
+};
 
 template <Platform P>
 class ConfigurableLock {
@@ -196,7 +208,12 @@ class ConfigurableLock {
   bool lock_shared_for(Ctx& ctx, Nanos timeout) {
     return acquire(ctx, /*shared=*/true, timeout);
   }
-  bool try_lock_shared(Ctx& ctx) { return try_acquire_rw(ctx, /*shared=*/true); }
+  bool try_lock_shared(Ctx& ctx) {
+    if (!rw_capable()) {
+      misuse("try_lock_shared on a lock without a reader-writer scheduler");
+    }
+    return try_acquire_rw(ctx, /*shared=*/true);
+  }
 
   // =================================================================
   // Release.
@@ -211,6 +228,7 @@ class ConfigurableLock {
       --recursion_depth_;
       return;
     }
+    note_trace(ctx, LockEvent::kRelease, ctx.self());
     if constexpr (kRealConcurrency<P>) {
       // Clock elision: the hold-time pair feeds only the monitor, so with
       // the monitor off the release path makes no clock read at all. With
@@ -239,7 +257,10 @@ class ConfigurableLock {
   }
 
   void unlock_shared(Ctx& ctx) {
-    assert(rw_capable());
+    if (!rw_capable()) {
+      misuse("unlock_shared on a lock without a reader-writer scheduler");
+    }
+    note_trace(ctx, LockEvent::kRelease, ctx.self());
     if (opts_.execution == Execution::kActive && serving_.load()) {
       post_release(ctx, kInvalidThread, /*shared=*/true);
       return;
@@ -289,9 +310,10 @@ class ConfigurableLock {
       if (won) {
         chk_point<P>(ctx, "possess.arm");
         quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
-        chk_event<P>(ctx, ChkEvent::kBreakerArm);
+        note(ctx, LockEvent::kBreakerArm);
       }
     }
+    if (won) note_trace(ctx, LockEvent::kPossess, bit);
     return won;
   }
   void possess(Ctx& ctx, AttributeClass c) {
@@ -306,9 +328,10 @@ class ConfigurableLock {
       if ((prev & bit) != 0) {
         chk_point<P>(ctx, "possess.disarm");
         quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
-        chk_event<P>(ctx, ChkEvent::kBreakerDisarm);
+        note(ctx, LockEvent::kBreakerDisarm);
       }
     }
+    if ((prev & bit) != 0) note_trace(ctx, LockEvent::kUnpossess, bit);
   }
 
   /// Changes the waiting policy attributes. Cost: one read + one write of
@@ -318,11 +341,11 @@ class ConfigurableLock {
   /// policy they registered with.
   void configure_waiting(Ctx& ctx, LockAttributes attrs) {
     QuiesceGuard quiesce(ctx, *this);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     (void)P::load(ctx, config_word_);
     store_attrs(attrs);
     P::store(ctx, config_word_, config_version_.fetch_add(1) + 1);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
   }
 
@@ -334,8 +357,9 @@ class ConfigurableLock {
   /// Reader-writer capability is fixed at construction: switching between
   /// RW and non-RW kinds is not supported.
   void configure_scheduler(Ctx& ctx, SchedulerKind kind) {
-    assert(kind != SchedulerKind::kCustom &&
-           "install custom schedulers by instance (unique_ptr overload)");
+    if (kind == SchedulerKind::kCustom) {
+      misuse("install custom schedulers by instance (unique_ptr overload)");
+    }
     install_scheduler(ctx, kind, make_scheduler<P>(kind));
   }
 
@@ -344,7 +368,7 @@ class ConfigurableLock {
   /// deadline-based EdfScheduler). Same cost model and configuration-delay
   /// semantics as the built-in kinds.
   void configure_scheduler(Ctx& ctx, std::unique_ptr<Scheduler<P>> custom) {
-    assert(custom != nullptr);
+    if (custom == nullptr) misuse("configure_scheduler with a null scheduler");
     const SchedulerKind kind = custom->kind();
     install_scheduler(ctx, kind, std::move(custom));
   }
@@ -355,7 +379,7 @@ class ConfigurableLock {
   void set_priority_threshold(Ctx& ctx, Priority threshold) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     // A fast release may have pre-dequeued the next grantee; return it so
     // the threshold applies to it too and the empty() probe below is real.
     reclaim_next_grant();
@@ -363,10 +387,10 @@ class ConfigurableLock {
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_threshold(threshold);
     }
-    chk_event<P>(ctx, ChkEvent::kThresholdSet,
+    note(ctx, LockEvent::kThresholdSet,
                  static_cast<std::uint64_t>(
                      static_cast<std::int64_t>(threshold)));
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
     if (!held_locked() && scheduler_ != nullptr && !scheduler_->empty()) {
       // Lock is free with waiters that may have just become eligible.
@@ -381,13 +405,13 @@ class ConfigurableLock {
   void set_rw_preference(Ctx& ctx, RwPreference pref) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     opts_.rw_preference = pref;
     if (scheduler_ != nullptr) scheduler_->set_rw_preference(pref);
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_rw_preference(pref);
     }
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
     meta_unlock(ctx);
   }
@@ -397,9 +421,16 @@ class ConfigurableLock {
   /// section 3.2). Threads with an override use it instead of the lock-wide
   /// attributes.
   void set_thread_attributes(Ctx& ctx, ThreadId tid, LockAttributes attrs) {
+    // Checked before the quiescence epoch is broken or meta is taken:
+    // misuse() unwinds, and it must leave no lock state to restore.
+    if constexpr (kRealConcurrency<P>) {
+      if (tid >= domain_.capacity()) {
+        misuse("set_thread_attributes: tid outside the lock's thread domain");
+      }
+    }
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
       // Flat slot array indexed by ThreadId, published once via an atomic
       // pointer. Registering threads read it without the meta guard (the
@@ -412,7 +443,6 @@ class ConfigurableLock {
         slots = attr_slot_storage_.get();
         attr_slots_.store(slots, std::memory_order_release);
       }
-      assert(tid < domain_.capacity());
       AttrSlot& s = slots[tid];
       if (!s.valid.load(std::memory_order_relaxed)) ++attr_override_count_;
       slot_write(s, attrs, /*valid=*/true);
@@ -422,13 +452,13 @@ class ConfigurableLock {
       thread_attrs_[tid] = attrs;
       has_thread_attrs_.store(true, std::memory_order_relaxed);
     }
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
   void clear_thread_attributes(Ctx& ctx, ThreadId tid) {
     QuiesceGuard quiesce(ctx, *this);
     meta_lock(ctx);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
       AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
       if (slots != nullptr && tid < domain_.capacity() &&
@@ -443,7 +473,7 @@ class ConfigurableLock {
       has_thread_attrs_.store(!thread_attrs_.empty(),
                               std::memory_order_relaxed);
     }
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
 
@@ -666,35 +696,73 @@ class ConfigurableLock {
     return a.sleep_ns > 0 || advisory;
   }
 
+  // ------------------------------------------------------ observers ------
+
+  /// Reports one semantic transition to both observers that may be
+  /// compiled in: the relock-check oracles (chk_event) and the calling
+  /// thread's relock-trace ring (trc_event). Emitting from one call site
+  /// makes the two event streams share vocabulary AND order by
+  /// construction - check_trace_test asserts a trace equals the checker's
+  /// event log record for record.
+  void note(Ctx& ctx, LockEvent e, std::uint64_t arg = 0) {
+    chk_event<P>(ctx, e, arg);
+    trc_event<P>(ctx, trace_tag_, e, arg);
+  }
+
+  /// Trace-only transitions (acquire flavor, release entry, park/unpark,
+  /// possession): thread-local progress markers outside the checker's
+  /// oracle vocabulary. Deliberately NOT routed through chk_event - every
+  /// checker event opens spin gates (note_write), so adding kinds there
+  /// would perturb the schedule spaces of existing scenarios.
+  void note_trace(Ctx& ctx, LockEvent e, std::uint64_t arg = 0) {
+    trc_event<P>(ctx, trace_tag_, e, arg);
+  }
+
+  /// Hard API-misuse error; see LockUsageError.
+  [[noreturn]] static void misuse(const char* what) {
+    throw LockUsageError(what);
+  }
+
   // -------------------------------------------------------- acquire ------
 
   bool acquire(Ctx& ctx, bool shared, Nanos timeout_override) {
     if (rw_capable()) return acquire_rw(ctx, shared, timeout_override);
-    assert(!shared && "lock_shared requires a reader-writer configuration");
+    if (shared) {
+      misuse("lock_shared on a lock without a reader-writer scheduler");
+    }
 
     if (opts_.recursive && is_owner(ctx)) {
       ++recursion_depth_;
       return true;
     }
     Nanos t0;
+    Nanos arrival = 0;
     if constexpr (kRealConcurrency<P>) {
       // Clock elision: the timestamp feeds only monitor statistics and
       // timeout deadlines. With the monitor off - or for operations outside
       // the 1-in-N timing sample - skip the read; a timeout waiter re-reads
       // the clock lazily (0 marks "not taken").
       t0 = monitor_.enabled() && monitor_.timing_sample() ? P::now(ctx) : 0;
+      // An explicit lock_for() deadline is anchored HERE, at arrival. With
+      // the monitor off, t0 is elided and the lazy re-read used to happen
+      // only inside the slow path - after the failed fast-path RMW and the
+      // registration stores - silently extending the timeout by the time
+      // spent getting there.
+      if (timeout_override != 0) arrival = t0 != 0 ? t0 : P::now(ctx);
     } else {
       t0 = P::now(ctx);
+      arrival = t0;
     }
     // Fast path: one RMW, like a primitive spin lock (paper Table 2).
     if (P::fetch_or(ctx, state_, 1) == 0) {
       on_acquired_exclusive(ctx, /*contended=*/false, t0);
       return true;
     }
-    return acquire_slow(ctx, /*shared=*/false, timeout_override, t0);
+    return acquire_slow(ctx, /*shared=*/false, timeout_override, t0, arrival);
   }
 
-  bool acquire_slow(Ctx& ctx, bool shared, Nanos timeout_override, Nanos t0) {
+  bool acquire_slow(Ctx& ctx, bool shared, Nanos timeout_override, Nanos t0,
+                    Nanos arrival) {
     // Registration: log the requesting thread's identity - "the cost of one
     // write operation" (paper section 3.2).
     P::store(ctx, registry_, static_cast<std::uint64_t>(ctx.self()) + 1);
@@ -709,9 +777,9 @@ class ConfigurableLock {
       // racing reconfiguration is absorbed by the release module (drained
       // records whose scheduler vanished park on the orphan queue).
       if (arrival_target_kind() != SchedulerKind::kNone) {
-        return acquire_scheduled_lockfree(ctx, timeout_override, t0);
+        return acquire_scheduled_lockfree(ctx, timeout_override, t0, arrival);
       }
-      return acquire_centralized_lockfree(ctx, timeout_override, t0);
+      return acquire_centralized_lockfree(ctx, timeout_override, t0, arrival);
     } else {
       meta_lock(ctx);
       LockAttributes attrs = effective_attrs_for(ctx.self());
@@ -785,13 +853,18 @@ class ConfigurableLock {
   /// Scheduled contended arrival, kRealConcurrency only. The record is
   /// published with one exchange on the arrivals word; the release module
   /// (serialized under meta) later drains it into the scheduler queue.
-  bool acquire_scheduled_lockfree(Ctx& ctx, Nanos timeout_override,
-                                  Nanos t0) {
+  bool acquire_scheduled_lockfree(Ctx& ctx, Nanos timeout_override, Nanos t0,
+                                  Nanos arrival) {
     LockAttributes attrs = effective_attrs_for(ctx.self());
     if (timeout_override != 0) attrs.timeout_ns = timeout_override;
     Nanos deadline = kForever;
     if (attrs.timeout_ns != 0) {
-      deadline = (t0 != 0 ? t0 : P::now(ctx)) + attrs.timeout_ns;
+      // Deadlines run from arrival when acquire() anchored one (explicit
+      // lock_for); attribute-configured timeouts anchor here, at
+      // registration, which is where the policy is first known.
+      deadline =
+          (arrival != 0 ? arrival : (t0 != 0 ? t0 : P::now(ctx))) +
+          attrs.timeout_ns;
     }
 
     // Oversubscription escalation: with more live threads than processors a
@@ -823,7 +896,7 @@ class ConfigurableLock {
         static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&rec)));
     // Registration order is fixed by the exchange: report it to the checker
     // in the same atomic step, before the link-pending window opens.
-    chk_event<P>(ctx, ChkEvent::kRegistered, ctx.self());
+    note(ctx, LockEvent::kRegistered, ctx.self());
     chk_point<P>(ctx, "arr.link");
     rec.arrival_next.store(static_cast<std::uintptr_t>(prev),
                            std::memory_order_release);
@@ -868,7 +941,7 @@ class ConfigurableLock {
     } else {
       withdraw(rec);
     }
-    chk_event<P>(ctx, ChkEvent::kTimeoutReturn, ctx.self());
+    note(ctx, LockEvent::kTimeoutReturn, ctx.self());
     meta_unlock(ctx);
     waiter_count_.fetch_sub(1, std::memory_order_relaxed);
     monitor_.on_timeout();
@@ -878,13 +951,15 @@ class ConfigurableLock {
   /// Centralized (SchedulerKind::kNone) contended arrival, kRealConcurrency
   /// only: no registration structure to protect, so no meta at all on the
   /// way in - one barging retry, then the TTAS waiting engine.
-  bool acquire_centralized_lockfree(Ctx& ctx, Nanos timeout_override,
-                                    Nanos t0) {
+  bool acquire_centralized_lockfree(Ctx& ctx, Nanos timeout_override, Nanos t0,
+                                    Nanos arrival) {
     LockAttributes attrs = effective_attrs_for(ctx.self());
     if (timeout_override != 0) attrs.timeout_ns = timeout_override;
     Nanos deadline = kForever;
     if (attrs.timeout_ns != 0) {
-      deadline = (t0 != 0 ? t0 : P::now(ctx)) + attrs.timeout_ns;
+      deadline =
+          (arrival != 0 ? arrival : (t0 != 0 ? t0 : P::now(ctx))) +
+          attrs.timeout_ns;
     }
 
     if (P::fetch_or(ctx, state_, 1) == 0) {
@@ -1031,12 +1106,15 @@ class ConfigurableLock {
               parked = true;
               monitor_.on_block();
               if (deadline == kForever) {
+                note_trace(ctx, LockEvent::kPark, ctx.self());
                 P::block(ctx);
               } else {
                 const Nanos now = P::now(ctx);
                 if (now >= deadline) return WaitResult::kTimedOut;
+                note_trace(ctx, LockEvent::kPark, ctx.self());
                 (void)P::block_for(ctx, deadline - now);
               }
+              note_trace(ctx, LockEvent::kUnpark, ctx.self());
             }
           }
           if (!parked) spin_step(ctx, streak);
@@ -1052,6 +1130,7 @@ class ConfigurableLock {
       if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
       monitor_.on_block();
       if (sleep_ns == kForever && deadline == kForever) {
+        note_trace(ctx, LockEvent::kPark, ctx.self());
         P::block(ctx);
       } else {
         Nanos bound = sleep_ns;
@@ -1060,8 +1139,10 @@ class ConfigurableLock {
           if (now >= deadline) return WaitResult::kTimedOut;
           bound = std::min(bound, deadline - now);
         }
+        note_trace(ctx, LockEvent::kPark, ctx.self());
         (void)P::block_for(ctx, bound);
       }
+      note_trace(ctx, LockEvent::kUnpark, ctx.self());
       if (P::load(ctx, rec.granted) != 0) return WaitResult::kGranted;
       if (deadline != kForever && P::now(ctx) >= deadline) {
         return WaitResult::kTimedOut;
@@ -1132,7 +1213,9 @@ class ConfigurableLock {
       meta_unlock(ctx);
       monitor_.on_block();
       if (sleep_ns == kForever && deadline == kForever) {
+        note_trace(ctx, LockEvent::kPark, ctx.self());
         P::block(ctx);
+        note_trace(ctx, LockEvent::kUnpark, ctx.self());
       } else {
         Nanos bound = sleep_ns;
         bool expired = false;
@@ -1144,7 +1227,11 @@ class ConfigurableLock {
             bound = std::min(bound, deadline - now);
           }
         }
-        if (!expired) (void)P::block_for(ctx, bound);
+        if (!expired) {
+          note_trace(ctx, LockEvent::kPark, ctx.self());
+          (void)P::block_for(ctx, bound);
+          note_trace(ctx, LockEvent::kUnpark, ctx.self());
+        }
       }
       meta_lock(ctx);
       sleepers_.remove(rec);  // no-op if the releaser already popped us
@@ -1224,7 +1311,7 @@ class ConfigurableLock {
       if constexpr (kRealConcurrency<P>) {
         chk_point<P>(ctx, "qg.arm");
         lock_.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
-        chk_event<P>(ctx, ChkEvent::kBreakerArm);
+        lock_.note(ctx, LockEvent::kBreakerArm);
         lock_.wait_fast_releases(ctx);
       } else {
         (void)ctx;
@@ -1235,7 +1322,7 @@ class ConfigurableLock {
         // Event only, no scheduling point: destructors must not throw the
         // checker's unwind exception.
         lock_.quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
-        chk_event<P>(*ctx_, ChkEvent::kBreakerDisarm);
+        lock_.note(*ctx_, LockEvent::kBreakerDisarm);
       }
     }
     QuiesceGuard(const QuiesceGuard&) = delete;
@@ -1260,7 +1347,7 @@ class ConfigurableLock {
         ctx_ = &ctx;
         chk_point<P>(ctx, "bt.arm");
         lock.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
-        chk_event<P>(ctx, ChkEvent::kBreakerArm);
+        lock.note(ctx, LockEvent::kBreakerArm);
       } else {
         (void)ctx;
         (void)lock;
@@ -1272,7 +1359,7 @@ class ConfigurableLock {
           // Event only, no scheduling point: destructors must not throw
           // the checker's unwind exception.
           lock_->quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
-          chk_event<P>(*ctx_, ChkEvent::kBreakerDisarm);
+          lock_->note(*ctx_, LockEvent::kBreakerDisarm);
         }
       }
     }
@@ -1356,7 +1443,7 @@ class ConfigurableLock {
   bool release_fast_abort(Ctx& ctx, bool began) {
     chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
-    if (began) chk_event<P>(ctx, ChkEvent::kFastReleaseEnd);
+    if (began) note(ctx, LockEvent::kFastReleaseEnd);
     return false;
   }
 
@@ -1376,7 +1463,7 @@ class ConfigurableLock {
     }
     // Quiescent: configuration is locked out until our in-flight count
     // drops; we own the modules by holding the state word.
-    chk_event<P>(ctx, ChkEvent::kFastReleaseBegin);
+    note(ctx, LockEvent::kFastReleaseBegin);
     chk_point<P>(ctx, "fr.mod");
     const SchedulerKind kind = scheduler_kind_.load(std::memory_order_relaxed);
     if (!fast_kind(kind) || has_pending_.load(std::memory_order_relaxed) ||
@@ -1427,14 +1514,14 @@ class ConfigurableLock {
     P::store(ctx, owner_, static_cast<std::uint64_t>(tid) + 1);
     monitor_.on_handoff();
     P::store(ctx, succ->granted, 1);
-    chk_event<P>(ctx, ChkEvent::kGranted, tid);
+    note(ctx, LockEvent::kGranted, tid);
     if (may_sleep) {
       monitor_.on_wakeup();
       P::unblock(ctx, tid);
     }
     chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
-    chk_event<P>(ctx, ChkEvent::kFastReleaseEnd);
+    note(ctx, LockEvent::kFastReleaseEnd);
     // Oversubscribed processor: give the grantee a chance to run now
     // rather than after our quantum expires re-contending the lock.
     if (P::oversubscribed(ctx)) P::yield(ctx);
@@ -1446,7 +1533,11 @@ class ConfigurableLock {
   void release(Ctx& ctx, ThreadId hint, bool shared) {
     meta_lock(ctx);
     if (shared) {
-      assert(holders_ > 0);
+      if (holders_ == 0) {
+        // Release meta before unwinding so the misuse cannot wedge the lock.
+        meta_unlock(ctx);
+        misuse("unlock_shared without a matching shared hold");
+      }
       --holders_;
       if (holders_ != 0) {
         meta_unlock(ctx);
@@ -1508,7 +1599,7 @@ class ConfigurableLock {
       if (grant_scratch_.empty()) {
         // Nobody eligible: publish free and wake sleeping barging waiters.
         P::store(ctx, state_, 0);
-        chk_event<P>(ctx, ChkEvent::kReleaseFree);
+        note(ctx, LockEvent::kReleaseFree);
         sleepers_.for_each([&](WaiterRecord<P>& w) {
           sleepers_.remove(w);
           queue_wake(w.tid);
@@ -1550,7 +1641,7 @@ class ConfigurableLock {
         const ThreadId tid = w->tid;
         const bool may_sleep = w->may_sleep;
         P::store(ctx, w->granted, 1);
-        chk_event<P>(ctx, ChkEvent::kGranted, tid);
+        note(ctx, LockEvent::kGranted, tid);
 #ifdef RELOCK_CHECK_SEEDED_BUG_1
         // Seeded PR 2 bug (TSan-caught): the shared grant scratch is
         // cleared only after the grant flag is published, so the new owner
@@ -1574,7 +1665,7 @@ class ConfigurableLock {
         if (w->may_sleep) queue_wake(w->tid);
         const ThreadId shared_tid = w->tid;
         P::store(ctx, w->granted, 1);
-        chk_event<P>(ctx, ChkEvent::kGranted, shared_tid);
+        note(ctx, LockEvent::kGranted, shared_tid);
         // After this store the record (on the waiter's stack) may disappear
         // once meta is released; only the captured tids are used below.
       }
@@ -1592,13 +1683,17 @@ class ConfigurableLock {
   /// pre-registered waiters exist.
   void install_scheduler(Ctx& ctx, SchedulerKind kind,
                          std::unique_ptr<Scheduler<P>> fresh) {
-    assert((kind == SchedulerKind::kReaderWriter) == rw_capable() &&
-           "RW capability is fixed at construction");
+    // Checked before the quiescence epoch is broken: misuse() unwinds and
+    // must leave nothing armed.
+    if ((kind == SchedulerKind::kReaderWriter) != rw_capable()) {
+      misuse("RW capability is fixed at construction; cannot switch a lock "
+             "between reader-writer and exclusive scheduler kinds");
+    }
     // Scheduler swaps retire the outgoing module: quiesce the fast path
     // and reclaim its pre-selection (below, under meta) or the cached
     // record would dangle on a destroyed queue.
     QuiesceGuard quiesce(ctx, *this);
-    chk_event<P>(ctx, ChkEvent::kConfigMutateBegin);
+    note(ctx, LockEvent::kConfigMutateBegin);
     monitor_.on_reconfiguration(/*scheduler_change=*/true);
     (void)P::load(ctx, sched_flag_);                    // 1R
     const auto code = static_cast<std::uint64_t>(kind);
@@ -1638,10 +1733,10 @@ class ConfigurableLock {
     has_pending_.store(true, std::memory_order_relaxed);
     // New registrations target the incoming module from here on: a new
     // configuration generation for the fairness oracles.
-    chk_event<P>(ctx, ChkEvent::kSchedulerInstalled);
+    note(ctx, LockEvent::kSchedulerInstalled);
     const bool immediate = scheduler_ == nullptr || scheduler_->empty();
     if (immediate) install_pending(ctx);                // W5: flag reset
-    chk_event<P>(ctx, ChkEvent::kConfigMutateEnd);
+    note(ctx, LockEvent::kConfigMutateEnd);
     meta_unlock(ctx);
   }
 
@@ -1658,6 +1753,9 @@ class ConfigurableLock {
   // ----------------------------------------------------- bookkeeping -----
 
   void on_acquired_exclusive(Ctx& ctx, bool contended, Nanos t0) {
+    note_trace(ctx,
+               contended ? LockEvent::kAcquireSlow : LockEvent::kAcquireFast,
+               ctx.self());
     P::store(ctx, owner_, static_cast<std::uint64_t>(ctx.self()) + 1);
     recursion_depth_ = 0;
     if constexpr (kRealConcurrency<P>) {
@@ -1684,6 +1782,9 @@ class ConfigurableLock {
   }
 
   void on_granted(Ctx& ctx, bool shared, Nanos t0) {
+    note_trace(ctx,
+               shared ? LockEvent::kAcquireShared : LockEvent::kAcquireSlow,
+               ctx.self());
     if constexpr (kRealConcurrency<P>) {
       if (!shared) recursion_depth_ = 0;
       if (!monitor_.enabled()) {
@@ -1979,6 +2080,8 @@ class ConfigurableLock {
 
   std::atomic<std::uint32_t> waiter_count_{0};
   LockMonitor monitor_;
+  /// relock-trace identity; empty (and size-free) without RELOCK_TRACE.
+  [[no_unique_address]] TraceTag trace_tag_;
 };
 
 }  // namespace relock

@@ -76,6 +76,12 @@ struct LockStats {
   std::array<std::uint64_t, kBuckets> wait_histogram{};
   std::array<std::uint64_t, kBuckets> hold_histogram{};
 
+  /// Number of reset() calls the monitor had absorbed when this snapshot
+  /// was taken. Consumers differencing two snapshots (delta_between) use it
+  /// to detect an intervening reset: counters in different generations are
+  /// not comparable.
+  std::uint64_t reset_generation = 0;
+
   [[nodiscard]] double mean_wait_ns() const {
     return timed_waits == 0 ? 0.0
                             : static_cast<double>(total_wait_ns) /
@@ -170,8 +176,65 @@ class LockMonitor {
   }
 
   /// Merges the per-thread shards into one consistent-enough view (in-
-  /// flight increments may be missed; monotone counters never go back).
+  /// flight increments may be missed; monotone counters never go back) and
+  /// subtracts the reset baseline. Every reported counter covers the window
+  /// since the last reset() and can only grow within one reset generation.
   [[nodiscard]] LockStats snapshot() const {
+    BaselineGuard g(baseline_mu_);
+    LockStats s = subtract(raw_snapshot(), baseline_);
+    s.reset_generation = reset_generation_;
+    return s;
+  }
+
+  /// Starts a new statistics window. The live counters are NEVER written -
+  /// concurrent sharded increments are plain load+store pairs, so zeroing a
+  /// slot under them would race and could resurrect pre-reset counts or
+  /// tear in-flight ones. Instead the current raw totals become the
+  /// baseline that snapshot() subtracts: raw counters are monotone, so no
+  /// post-reset snapshot can ever report a value below a pre-reset one
+  /// going negative (the classic adapt-policy "negative delta" bug).
+  /// Serialized against snapshot() by a spinlock no increment path touches.
+  void reset() noexcept {
+    BaselineGuard g(baseline_mu_);
+    baseline_ = raw_snapshot();
+    // Maxima are not differences; they restart at zero. An update_max
+    // racing this store may land a pre-reset sample in the new window -
+    // harmless, it is a real duration observation.
+    max_wait_.store(0, std::memory_order_relaxed);
+    max_hold_.store(0, std::memory_order_relaxed);
+    baseline_.max_wait_ns = 0;
+    baseline_.max_hold_ns = 0;
+    ++reset_generation_;
+  }
+
+  static std::size_t bucket_of(Nanos ns) noexcept {
+    if (ns == 0) return 0;
+    const int bit = 63 - __builtin_clzll(ns);
+    return std::min<std::size_t>(static_cast<std::size_t>(bit),
+                                 LockStats::kBuckets - 1);
+  }
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+
+  /// Spinlock guard for the reset baseline. Only snapshot() and reset()
+  /// take it - both cold, drain-side paths; no increment ever touches it.
+  class BaselineGuard {
+   public:
+    explicit BaselineGuard(std::atomic_flag& f) : f_(f) {
+      while (f_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~BaselineGuard() { f_.clear(std::memory_order_release); }
+    BaselineGuard(const BaselineGuard&) = delete;
+    BaselineGuard& operator=(const BaselineGuard&) = delete;
+
+   private:
+    std::atomic_flag& f_;
+  };
+
+  /// Merged view of the live counters since construction (no baseline).
+  [[nodiscard]] LockStats raw_snapshot() const {
     LockStats s;
     s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.reconfigurations = reconfigurations_.load(std::memory_order_relaxed);
@@ -203,30 +266,45 @@ class LockMonitor {
     return s;
   }
 
-  void reset() noexcept {
-    timeouts_ = 0;
-    reconfigurations_ = 0; scheduler_changes_ = 0; shared_acquisitions_ = 0;
-    max_wait_ = 0; max_hold_ = 0;
-    for (CachePadded<HotShard>& padded : shards_) {
-      HotShard& h = *padded;
-      h.acquisitions = 0; h.contended = 0;
-      h.releases = 0; h.handoffs = 0; h.blocks = 0; h.wakeups = 0;
-      h.spin_probes = 0; h.timed_waits = 0; h.timed_holds = 0;
-      h.total_wait = 0; h.total_hold = 0;
-      for (auto& b : h.wait_hist) b = 0;
-      for (auto& b : h.hold_hist) b = 0;
+  /// raw >= base field-wise whenever both were taken under baseline_mu_
+  /// (raw counters are monotone); the clamp is belt-and-suspenders against
+  /// the sharded lost-increment corner.
+  static std::uint64_t sub_clamped(std::uint64_t raw,
+                                   std::uint64_t base) noexcept {
+    return raw >= base ? raw - base : 0;
+  }
+  [[nodiscard]] static LockStats subtract(const LockStats& raw,
+                                          const LockStats& base) {
+    LockStats s;
+    s.acquisitions = sub_clamped(raw.acquisitions, base.acquisitions);
+    s.contended_acquisitions = sub_clamped(raw.contended_acquisitions,
+                                           base.contended_acquisitions);
+    s.releases = sub_clamped(raw.releases, base.releases);
+    s.handoffs = sub_clamped(raw.handoffs, base.handoffs);
+    s.blocks = sub_clamped(raw.blocks, base.blocks);
+    s.wakeups = sub_clamped(raw.wakeups, base.wakeups);
+    s.timeouts = sub_clamped(raw.timeouts, base.timeouts);
+    s.spin_probes = sub_clamped(raw.spin_probes, base.spin_probes);
+    s.reconfigurations =
+        sub_clamped(raw.reconfigurations, base.reconfigurations);
+    s.scheduler_changes =
+        sub_clamped(raw.scheduler_changes, base.scheduler_changes);
+    s.shared_acquisitions =
+        sub_clamped(raw.shared_acquisitions, base.shared_acquisitions);
+    s.timed_waits = sub_clamped(raw.timed_waits, base.timed_waits);
+    s.timed_holds = sub_clamped(raw.timed_holds, base.timed_holds);
+    s.total_wait_ns = sub_clamped(raw.total_wait_ns, base.total_wait_ns);
+    s.total_hold_ns = sub_clamped(raw.total_hold_ns, base.total_hold_ns);
+    s.max_wait_ns = raw.max_wait_ns;  // maxima restart at reset (see above)
+    s.max_hold_ns = raw.max_hold_ns;
+    for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
+      s.wait_histogram[i] =
+          sub_clamped(raw.wait_histogram[i], base.wait_histogram[i]);
+      s.hold_histogram[i] =
+          sub_clamped(raw.hold_histogram[i], base.hold_histogram[i]);
     }
+    return s;
   }
-
-  static std::size_t bucket_of(Nanos ns) noexcept {
-    if (ns == 0) return 0;
-    const int bit = 63 - __builtin_clzll(ns);
-    return std::min<std::size_t>(static_cast<std::size_t>(bit),
-                                 LockStats::kBuckets - 1);
-  }
-
- private:
-  using Counter = std::atomic<std::uint64_t>;
 
   /// Hot-edge counters, one cache-padded copy per shard, bumped with plain
   /// load+store increments (see the header comment for the lost-increment
@@ -288,6 +366,12 @@ class LockMonitor {
   Counter shared_acquisitions_{0};
   Counter max_wait_{0}, max_hold_{0};
   std::array<CachePadded<HotShard>, kShards> shards_{};
+
+  // Reset state: raw totals captured at the last reset(), subtracted by
+  // snapshot(). Guarded by baseline_mu_; increments never touch any of it.
+  mutable std::atomic_flag baseline_mu_ = ATOMIC_FLAG_INIT;
+  LockStats baseline_{};
+  std::uint64_t reset_generation_ = 0;
 };
 
 }  // namespace relock

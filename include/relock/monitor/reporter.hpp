@@ -1,5 +1,6 @@
 // Human-readable rendering of LockStats: a summary block plus ASCII
-// log2 histograms of wait and hold times. Used by examples and ad-hoc
+// log2 histograms of wait and hold times, and the file-emission path for
+// relock-trace captures (write_chrome_trace). Used by examples and ad-hoc
 // diagnostics; benches print paper-formatted tables instead.
 #pragma once
 
@@ -8,6 +9,7 @@
 #include <string>
 
 #include "relock/monitor/lock_monitor.hpp"
+#include "relock/trace/chrome_export.hpp"
 
 namespace relock {
 
@@ -75,6 +77,22 @@ inline std::string format_stats(const LockStats& s) {
   out += format_histogram(s.wait_histogram, "wait-time histogram:");
   out += format_histogram(s.hold_histogram, "hold-time histogram:");
   return out;
+}
+
+/// Drains every relock-trace ring and writes the capture to `path` as
+/// Chrome Trace Event JSON (load in chrome://tracing or ui.perfetto.dev).
+/// Returns the number of events written, or -1 on I/O error. Works in any
+/// build: without RELOCK_TRACE the rings are empty and the file holds an
+/// empty (but valid) trace. `dropped_out`, if given, receives the count of
+/// records lost to ring overflow during the capture.
+inline long write_chrome_trace(const std::string& path,
+                               std::uint64_t* dropped_out = nullptr,
+                               const char* process_name = "relock") {
+  trace::TraceCollector collector;
+  const std::vector<trace::Event> events = collector.collect();
+  if (dropped_out != nullptr) *dropped_out = collector.dropped();
+  if (!trace::chrome_export(events, path, process_name)) return -1;
+  return static_cast<long>(events.size());
 }
 
 }  // namespace relock

@@ -18,26 +18,14 @@
 
 #include <cstdint>
 
+#include "relock/platform/lock_event.hpp"
+
 namespace relock {
 
-/// Semantic transitions reported to the checker's oracles. Events are
-/// bookkeeping, not scheduling points: each is emitted in the same atomic
-/// step as the transition it describes, so oracle state can never be stale
-/// relative to the interleaving being explored.
-enum class ChkEvent : std::uint8_t {
-  kRegistered,         ///< waiter published on the arrival stack / a queue
-  kGranted,            ///< grant flag set for thread `arg`
-  kReleaseFree,        ///< release published the state word free
-  kFastReleaseBegin,   ///< fast release passed the Dekker gate
-  kFastReleaseEnd,     ///< fast release retired its in-flight count
-  kConfigMutateBegin,  ///< configuration operation starts mutating modules
-  kConfigMutateEnd,    ///< configuration operation done mutating
-  kSchedulerInstalled, ///< new registrations now target a new module
-  kThresholdSet,       ///< priority threshold changed to (Priority)arg
-  kTimeoutReturn,      ///< conditional acquisition returns false for `arg`
-  kBreakerArm,         ///< quiesce breaker count incremented
-  kBreakerDisarm,      ///< quiesce breaker count decremented
-};
+/// The checker consumes the shared lock-event vocabulary (the tracer is the
+/// other consumer; see platform/lock_event.hpp). The historical name is
+/// kept: "ChkEvent" at a call site signals the event feeds an oracle.
+using ChkEvent = LockEvent;
 
 /// A scheduling point: under the checker the calling model thread may be
 /// preempted here. `tag` names the transition in failure traces.

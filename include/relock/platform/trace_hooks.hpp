@@ -1,0 +1,57 @@
+// relock-trace emission hooks, mirroring chk_hooks.hpp: lock algorithms
+// call trc_event at every semantic transition, and the whole mechanism
+// compiles to nothing unless RELOCK_TRACE is defined - an empty inline
+// function with an empty tag struct, so an OFF build carries zero code and
+// zero data, not even the enabled check.
+//
+// With RELOCK_TRACE defined, each call forwards to the process-wide
+// trace::Registry, which appends a 16-byte record to the calling thread's
+// SPSC ring (see trace/trace.hpp for the cost contract). Recording is still
+// off by default at runtime: the registry's master switch gates emission,
+// so a tracing-capable build pays one relaxed load + branch per site until
+// tracing is enabled.
+//
+// Unlike the chk hooks - which only the check platform defines - trace
+// hooks are platform-independent: records are keyed by the platform
+// ThreadId (ctx.self()), so native, check, and simulated platforms all
+// trace through the same rings.
+#pragma once
+
+#include <cstdint>
+
+#include "relock/platform/lock_event.hpp"
+
+#ifdef RELOCK_TRACE
+#include "relock/trace/trace.hpp"
+#endif
+
+namespace relock {
+
+#ifdef RELOCK_TRACE
+
+/// Per-lock trace identity, embedded in every ConfigurableLock. Registers
+/// the lock with the trace registry at construction.
+struct TraceTag {
+  std::uint16_t id = trace::Registry::instance().register_lock();
+};
+
+/// Appends one record to the calling thread's trace ring.
+template <typename P>
+inline void trc_event(typename P::Context& ctx, const TraceTag& tag,
+                      LockEvent e, std::uint64_t arg = 0) {
+  trace::Registry::instance().emit(ctx.self(), tag.id, e, arg);
+}
+
+#else  // !RELOCK_TRACE
+
+/// Empty stand-in: [[no_unique_address]] members of this type occupy no
+/// storage, and the hook below inlines to nothing.
+struct TraceTag {};
+
+template <typename P>
+inline void trc_event(typename P::Context&, const TraceTag&, LockEvent,
+                      std::uint64_t = 0) {}
+
+#endif  // RELOCK_TRACE
+
+}  // namespace relock

@@ -1,0 +1,201 @@
+// relock-trace drain side: TraceCollector merges every thread's ring into
+// one globally ordered event list (the logical timestamps are unique, so
+// the merge is a sort with no ties), and chrome_trace_json() renders the
+// merged list in the Chrome Trace Event format - load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Rendering model:
+//   - one track per thread (tid metadata events name them);
+//   - every record is an instant event named after its LockEvent kind;
+//   - exclusive holds are duration events ("X" would need the end upfront,
+//     so "B"/"E" pairs): opened by kAcquireFast/kAcquireSlow on the owner's
+//     track, closed by its kRelease;
+//   - grant handoffs are flow events: a "s" (start) on the releaser's
+//     kGranted record connects to a "f" (finish) on the grantee's next
+//     kAcquireSlow, drawing the ownership-transfer arrow between tracks.
+//
+// Timestamps are the logical clock rendered as microseconds: Chrome needs
+// monotone numbers, not wall time, and logical ticks keep the view dense
+// and deterministic (the checker produces byte-identical exports).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "relock/platform/lock_event.hpp"
+#include "relock/platform/types.hpp"
+#include "relock/trace/trace.hpp"
+
+namespace relock::trace {
+
+/// One merged, decoded trace event.
+struct Event {
+  std::uint64_t ts;
+  ThreadId tid;
+  std::uint16_t lock;
+  LockEvent kind;
+  std::uint32_t arg;
+};
+
+/// Drains rings into globally ordered event lists. Owns the consumer side
+/// of every ring it drains: use one collector at a time.
+class TraceCollector {
+ public:
+  explicit TraceCollector(Registry& registry = Registry::instance())
+      : registry_(&registry) {}
+
+  /// Drains every attached ring and returns the merged, timestamp-ordered
+  /// event list. Also refreshes dropped().
+  [[nodiscard]] std::vector<Event> collect() {
+    std::vector<Event> out;
+    dropped_ = registry_->unattributed_dropped();
+    registry_->for_each_ring([&](ThreadId tid, TraceRing& ring) {
+      dropped_ += ring.dropped();
+      ring.consume([&](const TraceRecord& r) {
+        out.push_back(Event{r.ts, tid, r.lock, r.event(), r.arg});
+      });
+    });
+    // Each ring is drained in push order and timestamps are globally
+    // unique, so a plain sort restores the total emission order.
+    std::sort(out.begin(), out.end(),
+              [](const Event& a, const Event& b) { return a.ts < b.ts; });
+    return out;
+  }
+
+  /// Ring-overflow drops summed across rings at the last collect(),
+  /// including unattributed (ThreadId >= kMaxThreads) records.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Registry* registry_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Renders `events` as Chrome Trace Event JSON (object form, traceEvents
+/// array). `process_name` labels the single pid the tracks live under.
+inline std::string chrome_trace_json(const std::vector<Event>& events,
+                                     const char* process_name = "relock") {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  char buf[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"%s\"}}",
+       process_name);
+
+  // Track metadata: name every thread that appears.
+  std::vector<ThreadId> tids;
+  for (const Event& e : events) {
+    bool seen = false;
+    for (ThreadId t : tids) seen = seen || t == e.tid;
+    if (!seen) tids.push_back(e.tid);
+  }
+  for (ThreadId t : tids) {
+    emit(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+         "\"args\":{\"name\":\"thread %u\"}}",
+         t, t);
+  }
+
+  // kGranted(arg=grantee) opens a pending flow per grantee; the grantee's
+  // next contended acquisition closes it. Exclusive holds open a "B" per
+  // owner track that the owner's kRelease closes. Flow ids are the grant
+  // record's unique timestamp, stored +1 so 0 can mean "none".
+  std::vector<std::uint64_t> pending_flow;   // grantee tid -> flow id+1
+  std::vector<std::uint64_t> open_hold;      // owner tid -> open B count
+  auto slot = [](std::vector<std::uint64_t>& v, ThreadId tid)
+      -> std::uint64_t& {
+    if (v.size() <= tid) v.resize(tid + 1, 0);
+    return v[tid];
+  };
+
+  for (const Event& e : events) {
+    const char* name = lock_event_name(e.kind);
+    const auto ts = static_cast<unsigned long long>(e.ts);
+    switch (e.kind) {
+      case LockEvent::kAcquireFast:
+      case LockEvent::kAcquireSlow: {
+        emit(",\n{\"name\":\"hold\",\"cat\":\"lock%u\",\"ph\":\"B\","
+             "\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+             "\"args\":{\"via\":\"%s\"}}",
+             e.lock, e.tid, ts, name);
+        ++slot(open_hold, e.tid);
+        if (e.kind == LockEvent::kAcquireSlow) {
+          std::uint64_t& flow = slot(pending_flow, e.tid);
+          if (flow != 0) {
+            emit(",\n{\"name\":\"grant\",\"cat\":\"handoff\",\"ph\":\"f\","
+                 "\"bp\":\"e\",\"id\":%llu,\"pid\":1,\"tid\":%u,"
+                 "\"ts\":%llu}",
+                 static_cast<unsigned long long>(flow - 1), e.tid, ts);
+            flow = 0;
+          }
+        }
+        break;
+      }
+      case LockEvent::kRelease: {
+        std::uint64_t& open = slot(open_hold, e.tid);
+        if (open > 0) {
+          emit(",\n{\"name\":\"hold\",\"cat\":\"lock%u\",\"ph\":\"E\","
+               "\"pid\":1,\"tid\":%u,\"ts\":%llu}",
+               e.lock, e.tid, ts);
+          --open;
+        }
+        break;
+      }
+      case LockEvent::kGranted: {
+        // Flow start on the releaser's track; id = this record's unique
+        // timestamp. The grantee's matching acquisition closes it.
+        emit(",\n{\"name\":\"grant\",\"cat\":\"handoff\",\"ph\":\"s\","
+             "\"id\":%llu,\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+             "\"args\":{\"to\":%u}}",
+             ts, e.tid, ts, e.arg);
+        slot(pending_flow, static_cast<ThreadId>(e.arg)) = e.ts + 1;
+        emit(",\n{\"name\":\"%s\",\"cat\":\"lock%u\",\"ph\":\"i\","
+             "\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+             "\"args\":{\"arg\":%u}}",
+             name, e.lock, e.tid, ts, e.arg);
+        break;
+      }
+      default:
+        emit(",\n{\"name\":\"%s\",\"cat\":\"lock%u\",\"ph\":\"i\","
+             "\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+             "\"args\":{\"arg\":%u}}",
+             name, e.lock, e.tid, ts, e.arg);
+        break;
+    }
+  }
+
+  // Close any hold left open at capture end so every B is matched.
+  const std::uint64_t end_ts =
+      events.empty() ? 0 : events.back().ts + 1;
+  for (ThreadId t = 0; t < open_hold.size(); ++t) {
+    for (; open_hold[t] > 0; --open_hold[t]) {
+      emit(",\n{\"name\":\"hold\",\"ph\":\"E\",\"pid\":1,\"tid\":%u,"
+           "\"ts\":%llu}",
+           t, static_cast<unsigned long long>(end_ts));
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+/// Writes chrome_trace_json(events) to `path`. Returns false on I/O error.
+inline bool chrome_export(const std::vector<Event>& events,
+                          const std::string& path,
+                          const char* process_name = "relock") {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(events, process_name);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace relock::trace

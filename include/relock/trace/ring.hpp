@@ -1,0 +1,111 @@
+// relock-trace storage: a fixed-size single-producer single-consumer ring
+// of 16-byte binary event records, one ring per registered thread.
+//
+// The producer is the traced thread itself (emitting from inside lock
+// paths), the consumer is a drain-side collector; neither ever blocks the
+// other. Overflow policy is drop-newest: a full ring rejects the incoming
+// record and counts it, so the records already buffered - the prefix of the
+// burst - stay intact and the dropped-record counter is EXACT (the producer
+// is the only writer of both the head and the counter, so no increment can
+// be lost). Capacity is fixed at construction: after that, recording is
+// allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "relock/platform/cacheline.hpp"
+#include "relock/platform/lock_event.hpp"
+#include "relock/platform/types.hpp"
+
+namespace relock::trace {
+
+/// One traced lock event. 16 bytes so a 4096-entry ring is one 64 KiB
+/// allocation and a record write is two stores on one or two cache lines.
+struct TraceRecord {
+  std::uint64_t ts;    ///< global logical timestamp (total order, unique)
+  std::uint32_t arg;   ///< event payload (e.g. grantee tid, threshold)
+  std::uint16_t lock;  ///< registry-assigned lock id (0 = unattributed)
+  std::uint8_t kind;   ///< LockEvent
+  std::uint8_t flags;  ///< reserved
+
+  [[nodiscard]] LockEvent event() const noexcept {
+    return static_cast<LockEvent>(kind);
+  }
+};
+static_assert(sizeof(TraceRecord) == 16, "records are 16-byte binary");
+
+/// SPSC ring of TraceRecords. Producer calls push(); the consumer drains
+/// with consume(). head_ (producer-owned) and tail_ (consumer-owned) are
+/// monotone positions; the difference is the fill level.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit TraceRing(std::uint32_t capacity) {
+    std::uint32_t cap = 2;
+    while (cap < capacity && cap < (1u << 30)) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<TraceRecord[]>(cap);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer only. Returns false (and counts the drop) when full.
+  bool push(const TraceRecord& r) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) > mask_) {
+      // Drop-newest. Plain increment: the producer is the only writer.
+      dropped_.store(dropped_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+      return false;
+    }
+    buf_[h & mask_] = r;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Invokes `fn(const TraceRecord&)` on every buffered
+  /// record in push order and retires them. Returns the count consumed.
+  template <typename Fn>
+  std::size_t consume(Fn&& fn) {
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t start = t;
+    for (; t != h; ++t) fn(static_cast<const TraceRecord&>(buf_[t & mask_]));
+    tail_.store(t, std::memory_order_release);
+    return static_cast<std::size_t>(t - start);
+  }
+
+  /// Records currently buffered (racy by nature; exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+  /// Exact count of records rejected by push() since construction (or the
+  /// last reset_dropped). Written only by the producer.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Testing/collector hook: caller must guarantee the producer is
+  /// quiescent (no concurrent push).
+  void reset_dropped() noexcept {
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<TraceRecord[]> buf_;
+  std::uint32_t mask_ = 0;
+  /// Producer and consumer positions on separate lines: the producer's
+  /// steady-state push must not bounce the consumer's tail line.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace relock::trace

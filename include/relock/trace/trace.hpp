@@ -1,0 +1,172 @@
+// relock-trace runtime: the process-wide registry that owns one TraceRing
+// per traced thread, the global logical clock that totally orders records
+// across rings, and the lock-id counter that attributes records to lock
+// instances.
+//
+// Emission contract (the hot path, entered from platform/trace_hooks.hpp):
+//   - disabled: one relaxed load + branch, nothing else;
+//   - enabled, ring attached: one relaxed fetch_add (the logical clock) and
+//     one SPSC ring push - no locks, no allocation;
+//   - enabled, first event of a thread: one ring allocation (or none, if
+//     preattach() reserved it). Steady state is allocation-free.
+//
+// Rings are keyed by platform ThreadId (dense Domain indices), NOT by host
+// thread, so the tracer also works under the relock-check platform where
+// every model thread runs on one host thread - which is exactly what lets
+// tests compare a trace against the checker's event log.
+//
+// This header compiles regardless of RELOCK_TRACE: only the emission call
+// sites (trace_hooks.hpp) are gated. Drain-side consumers (reporter,
+// benches, tests) can therefore link unconditionally; without the macro the
+// rings simply stay empty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "relock/platform/lock_event.hpp"
+#include "relock/platform/types.hpp"
+#include "relock/trace/ring.hpp"
+
+namespace relock::trace {
+
+class Registry {
+ public:
+  /// Upper bound on traceable ThreadIds. Records from threads at or above
+  /// it are counted in unattributed_dropped() instead of recorded.
+  static constexpr ThreadId kMaxThreads = 1024;
+  static constexpr std::uint32_t kDefaultRingCapacity = 8192;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  /// Master switch consulted by every emission site. Enabling does not
+  /// allocate; rings appear on each thread's first event (or preattach()).
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Capacity used for rings attached AFTER this call (existing rings keep
+  /// theirs). Call before set_enabled(true) for a uniform fleet.
+  void set_ring_capacity(std::uint32_t capacity) noexcept {
+    ring_capacity_.store(capacity == 0 ? kDefaultRingCapacity : capacity,
+                         std::memory_order_relaxed);
+  }
+
+  /// Pre-allocates rings for ThreadIds [0, n) so enabling is allocation-
+  /// free from the first record.
+  void preattach(ThreadId n) {
+    for (ThreadId tid = 0; tid < n && tid < kMaxThreads; ++tid) {
+      (void)attach(tid);
+    }
+  }
+
+  /// Registry-assigned per-lock id (nonzero). Wraps at 16 bits; ids only
+  /// disambiguate concurrent locks in one capture, not lock lifetimes.
+  [[nodiscard]] std::uint16_t register_lock() noexcept {
+    const std::uint32_t id =
+        next_lock_id_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<std::uint16_t>(id % 0xffffu + 1u);
+  }
+
+  /// The hot path. `tid` must be the calling thread's platform id: the
+  /// ring is SPSC and this call is its producer side.
+  void emit(ThreadId tid, std::uint16_t lock_id, LockEvent e,
+            std::uint64_t arg) noexcept {
+    if (!enabled()) return;
+    if (tid >= kMaxThreads) {
+      unattributed_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceRing* ring = rings_[tid].load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      ring = attach(tid);
+      if (ring == nullptr) return;
+    }
+    TraceRecord rec;
+    rec.ts = clock_.fetch_add(1, std::memory_order_relaxed);
+    rec.arg = static_cast<std::uint32_t>(arg);
+    rec.lock = lock_id;
+    rec.kind = static_cast<std::uint8_t>(e);
+    rec.flags = 0;
+    (void)ring->push(rec);
+  }
+
+  /// Drain-side: the attached ring of `tid`, or null. The caller owns the
+  /// consumer side of each ring it touches (one drainer at a time).
+  [[nodiscard]] TraceRing* ring(ThreadId tid) const noexcept {
+    return tid < kMaxThreads ? rings_[tid].load(std::memory_order_acquire)
+                             : nullptr;
+  }
+
+  /// Drain-side: invokes `fn(ThreadId, TraceRing&)` for every attached ring.
+  template <typename Fn>
+  void for_each_ring(Fn&& fn) const {
+    const ThreadId n = high_water_.load(std::memory_order_acquire);
+    for (ThreadId tid = 0; tid < n; ++tid) {
+      if (TraceRing* r = rings_[tid].load(std::memory_order_acquire)) {
+        fn(tid, *r);
+      }
+    }
+  }
+
+  /// Records dropped because the emitting ThreadId exceeded kMaxThreads.
+  [[nodiscard]] std::uint64_t unattributed_dropped() const noexcept {
+    return unattributed_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Testing hook: discards all buffered records and zeroes drop counters.
+  /// Caller must guarantee no thread is emitting (disable first).
+  void clear() {
+    for_each_ring([](ThreadId, TraceRing& r) {
+      r.consume([](const TraceRecord&) {});
+      r.reset_dropped();
+    });
+    unattributed_dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Registry() = default;
+
+  TraceRing* attach(ThreadId tid) {
+    if (tid >= kMaxThreads) return nullptr;
+    std::lock_guard<std::mutex> g(attach_mu_);
+    TraceRing* existing = rings_[tid].load(std::memory_order_relaxed);
+    if (existing != nullptr) return existing;
+    auto fresh = std::make_unique<TraceRing>(
+        ring_capacity_.load(std::memory_order_relaxed));
+    TraceRing* raw = fresh.get();
+    owned_.push_back(std::move(fresh));
+    rings_[tid].store(raw, std::memory_order_release);
+    ThreadId hw = high_water_.load(std::memory_order_relaxed);
+    while (hw < tid + 1 && !high_water_.compare_exchange_weak(
+                               hw, tid + 1, std::memory_order_release)) {
+    }
+    return raw;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> ring_capacity_{kDefaultRingCapacity};
+  std::atomic<std::uint32_t> next_lock_id_{1};
+  std::atomic<std::uint64_t> unattributed_dropped_{0};
+  /// Global logical clock: one relaxed fetch_add per record gives every
+  /// record a unique timestamp and the merge a total order that matches
+  /// the emission order (fetch_add linearizes). Under the single-host-
+  /// thread checker the order is additionally deterministic.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{0};
+
+  std::atomic<TraceRing*> rings_[kMaxThreads] = {};
+  std::atomic<ThreadId> high_water_{0};
+  std::mutex attach_mu_;                          ///< attach only (cold)
+  std::vector<std::unique_ptr<TraceRing>> owned_;  ///< under attach_mu_
+};
+
+}  // namespace relock::trace

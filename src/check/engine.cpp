@@ -19,23 +19,7 @@ namespace {
 /// lock slow path plus gtest assertion machinery.
 constexpr std::size_t kModelStackSize = 256 * 1024;
 
-const char* event_name(ChkEvent e) {
-  switch (e) {
-    case ChkEvent::kRegistered: return "Registered";
-    case ChkEvent::kGranted: return "Granted";
-    case ChkEvent::kReleaseFree: return "ReleaseFree";
-    case ChkEvent::kFastReleaseBegin: return "FastReleaseBegin";
-    case ChkEvent::kFastReleaseEnd: return "FastReleaseEnd";
-    case ChkEvent::kConfigMutateBegin: return "ConfigMutateBegin";
-    case ChkEvent::kConfigMutateEnd: return "ConfigMutateEnd";
-    case ChkEvent::kSchedulerInstalled: return "SchedulerInstalled";
-    case ChkEvent::kThresholdSet: return "ThresholdSet";
-    case ChkEvent::kTimeoutReturn: return "TimeoutReturn";
-    case ChkEvent::kBreakerArm: return "BreakerArm";
-    case ChkEvent::kBreakerDisarm: return "BreakerDisarm";
-  }
-  return "?";
-}
+const char* event_name(ChkEvent e) { return lock_event_name(e); }
 
 }  // namespace
 
@@ -73,6 +57,12 @@ ExploreResult Engine::explore(const Scenario& scenario, Strategy& strategy) {
     }
     if (!more) {
       res.complete = true;
+      // Expose the LAST schedule's event log and action trace on a clean
+      // completion too: single-schedule strategies (PCT with schedules=1,
+      // replay) use this to compare the engine's event stream against an
+      // external observer of the same run (relock-trace).
+      res.trace = format_trace(trace_);
+      res.events = events_;
       break;
     }
   }
@@ -669,6 +659,18 @@ void Engine::on_event(Context& ctx, ChkEvent e, std::uint64_t arg) {
         fail_here(ctx, "breaker count underflow");
       }
       --breaker_mirror_;
+      break;
+    case ChkEvent::kAcquireFast:
+    case ChkEvent::kAcquireSlow:
+    case ChkEvent::kAcquireShared:
+    case ChkEvent::kRelease:
+    case ChkEvent::kPark:
+    case ChkEvent::kUnpark:
+    case ChkEvent::kPossess:
+    case ChkEvent::kUnpossess:
+      // Trace-only vocabulary (thread-local progress markers): no oracle
+      // state. The lock routes these to the tracer, not chk_event, so they
+      // normally never arrive here.
       break;
   }
 }

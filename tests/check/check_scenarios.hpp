@@ -9,6 +9,8 @@
 // the seeded-bug regressions.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <memory>
 
 #include "relock/check/engine.hpp"
@@ -240,6 +242,44 @@ inline Scenario threshold3() {
     });
     f.add_thread(2, [lk](Context& ctx) { lock_cycle(lk, ctx); });
     f.add_thread(4, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// A monitor reset races a lock/unlock stream. LockMonitor::reset is
+/// snapshot-coherent (baseline subtraction, never writes to the live
+/// shards), so no schedule may observe a window where a counter appears to
+/// run backwards - the failure mode is a raw-below-baseline clamp bug
+/// showing up as an astronomically large unsigned "count".
+inline Scenario monitor_reset2() {
+  Scenario s;
+  s.name = "monitor_reset2";
+  s.fairness = FairnessMode::kNone;
+  s.build = [](ScenarioFrame& f) {
+    Lock::Options o;
+    o.scheduler = SchedulerKind::kFcfs;
+    o.attributes = LockAttributes::spin();
+    o.monitor_enabled = true;
+    auto lk = std::make_shared<Lock>(f.domain(), o);
+    f.add_thread(1, [lk](Context& ctx) {
+      lock_cycle(lk, ctx);
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->monitor().reset();
+      const LockStats mid = lk->monitor().snapshot();
+      constexpr std::uint64_t kSane = std::uint64_t{1} << 60;
+      assert(mid.acquisitions < kSane);
+      assert(mid.releases < kSane);
+      assert(mid.total_hold_ns < kSane);
+      (void)mid;
+      lock_cycle(lk, ctx);
+      lk->monitor().reset();
+      const LockStats end = lk->monitor().snapshot();
+      assert(end.acquisitions < kSane);
+      assert(end.releases < kSane);
+      (void)end;
+    });
   };
   return s;
 }

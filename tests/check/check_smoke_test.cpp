@@ -52,6 +52,13 @@ TEST(RelockCheckSmoke, Swap2Exhaustive) {
   expect_exhaustive(scenarios::swap2(), 2);
 }
 
+TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
+  // Snapshot-coherent monitor reset racing a lock/unlock stream: the
+  // scenario body asserts that no explored schedule sees a counter window
+  // wrapped below zero.
+  expect_exhaustive(scenarios::monitor_reset2(), 2);
+}
+
 // 3 threads: bound 2 is ~57k schedules (~2s); bound 3 (~2.1M schedules,
 // ~1 min) runs under the `stress` ctest label, see check_deep_test.
 TEST(RelockCheckSmoke, Fanout3Bound2Exhaustive) {

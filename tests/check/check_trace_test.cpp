@@ -1,0 +1,118 @@
+// relock-trace vs relock-check cross-validation (this binary is compiled
+// with RELOCK_TRACE=1): the lock emits its checker events and its trace
+// records from the SAME call sites (ConfigurableLock::note), so for any
+// single explored schedule the trace's checker-kind records must equal the
+// engine's event log record for record - same threads, same kinds, same
+// arguments, same order. A divergence means one of the two observers is
+// lying about what the lock did, which is exactly what this test exists to
+// catch.
+//
+// The engine runs every model thread on one host test thread, and the
+// trace registry keys rings by platform ThreadId, so the capture is
+// deterministic: same schedule, byte-identical record stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check_scenarios.hpp"
+#include "relock/check/strategies.hpp"
+#include "relock/platform/lock_event.hpp"
+#include "relock/trace/chrome_export.hpp"
+#include "relock/trace/trace.hpp"
+
+#ifndef RELOCK_TRACE
+#error "check_trace_test must be compiled with RELOCK_TRACE=1"
+#endif
+
+namespace {
+
+using namespace relock;
+using namespace relock::chk;
+
+/// (tid, event, arg) triples - the engine's event-log encoding.
+using Triples = std::vector<std::uint64_t>;
+
+/// Drains the registry and returns the checker-kind records as engine-
+/// encoded triples, dropping the trace-only vocabulary (acquire flavors,
+/// parks, possession markers) the engine deliberately never sees.
+Triples drain_checker_triples() {
+  Triples out;
+  trace::TraceCollector collector;
+  for (const trace::Event& e : collector.collect()) {
+    if (!is_checker_event(e.kind)) continue;
+    out.push_back(e.tid);
+    out.push_back(static_cast<std::uint64_t>(e.kind));
+    out.push_back(e.arg);
+  }
+  return out;
+}
+
+void expect_trace_matches_engine(const Scenario& scenario,
+                                 std::uint64_t seed) {
+  auto& reg = trace::Registry::instance();
+  reg.set_enabled(false);
+  reg.clear();
+  reg.set_ring_capacity(1u << 14);
+  reg.set_enabled(true);
+
+  // One PCT schedule: explore() then reports the events of exactly the
+  // schedule that ran, and the rings hold exactly its records.
+  Engine eng;
+  PctStrategy st(seed, /*schedules=*/1);
+  const ExploreResult r = eng.explore(scenario, st);
+  reg.set_enabled(false);
+  ASSERT_FALSE(r.failed) << r.summary();
+  ASSERT_TRUE(r.complete) << r.summary();
+  ASSERT_FALSE(r.events.empty())
+      << "clean completion must report the last schedule's event log";
+
+  const Triples traced = drain_checker_triples();
+  ASSERT_EQ(traced, r.events)
+      << scenario.name << ": native trace diverges from the checker log";
+
+  // Replaying the recorded action trace must reproduce the identical
+  // record stream - determinism end to end, through both observers.
+  reg.clear();
+  reg.set_enabled(true);
+  const ExploreResult replayed = eng.replay(scenario, r.trace);
+  reg.set_enabled(false);
+  ASSERT_FALSE(replayed.failed) << replayed.summary();
+  EXPECT_EQ(replayed.events, r.events);
+  EXPECT_EQ(drain_checker_triples(), traced);
+}
+
+TEST(RelockCheckTrace, Handoff2TraceEqualsEngineLog) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_trace_matches_engine(scenarios::handoff2(), seed);
+  }
+}
+
+TEST(RelockCheckTrace, ParkedHandoff2TraceEqualsEngineLog) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_trace_matches_engine(scenarios::parked_handoff2(), seed);
+  }
+}
+
+TEST(RelockCheckTrace, Timeout2TraceEqualsEngineLog) {
+  // Timeout withdrawal emits kTimeoutReturn through the same shared site.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_trace_matches_engine(scenarios::timeout2(), seed);
+  }
+}
+
+TEST(RelockCheckTrace, Swap2TraceEqualsEngineLog) {
+  // Scheduler swap: the full configuration vocabulary (mutate begin/end,
+  // scheduler installed, breaker arm/disarm) crosses both observers.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_trace_matches_engine(scenarios::swap2(), seed);
+  }
+}
+
+TEST(RelockCheckTrace, Fanout3TraceEqualsEngineLog) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    expect_trace_matches_engine(scenarios::fanout3(), seed);
+  }
+}
+
+}  // namespace

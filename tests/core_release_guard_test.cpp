@@ -1,0 +1,135 @@
+// API-misuse guards in a RELEASE build. This translation unit is compiled
+// with NDEBUG defined (see tests/CMakeLists.txt) precisely because the rest
+// of the suite strips it: assert() is compiled out here, so the only thing
+// standing between a misuse and silent corruption is the lock's own
+// LockUsageError throws. Every guard is also checked to leave the lock
+// usable - a throw that wedges the meta word or the quiescence epoch would
+// turn a caller bug into a deadlock for every other thread.
+#ifndef NDEBUG
+#error "core_release_guard_test must be compiled with NDEBUG (release mode)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace {
+
+using namespace relock;
+using NP = native::NativePlatform;
+using Lock = ConfigurableLock<NP>;
+
+Lock::Options exclusive_opts(SchedulerKind kind = SchedulerKind::kFcfs) {
+  Lock::Options o;
+  o.scheduler = kind;
+  o.attributes = LockAttributes::spin();
+  return o;
+}
+
+Lock::Options rw_opts() {
+  Lock::Options o;
+  o.scheduler = SchedulerKind::kReaderWriter;
+  o.attributes = LockAttributes::spin();
+  return o;
+}
+
+/// The lock must survive the guard: a full exclusive cycle still works.
+void expect_still_usable(Lock& lock, native::Context& ctx) {
+  lock.lock(ctx);
+  lock.unlock(ctx);
+}
+
+TEST(ReleaseGuard, SharedAcquireOnExclusiveLockThrows) {
+  native::Domain domain;
+  Lock lock(domain, exclusive_opts());
+  native::Context ctx(domain);
+  EXPECT_THROW(lock.lock_shared(ctx), LockUsageError);
+  EXPECT_THROW((void)lock.try_lock_shared(ctx), LockUsageError);
+  expect_still_usable(lock, ctx);
+}
+
+TEST(ReleaseGuard, SharedReleaseOnExclusiveLockThrows) {
+  native::Domain domain;
+  Lock lock(domain, exclusive_opts(SchedulerKind::kNone));
+  native::Context ctx(domain);
+  EXPECT_THROW(lock.unlock_shared(ctx), LockUsageError);
+  expect_still_usable(lock, ctx);
+}
+
+TEST(ReleaseGuard, UnmatchedSharedReleaseThrows) {
+  native::Domain domain;
+  Lock lock(domain, rw_opts());
+  native::Context ctx(domain);
+  // No shared hold exists: the release path must refuse instead of driving
+  // the reader count negative.
+  EXPECT_THROW(lock.unlock_shared(ctx), LockUsageError);
+  // The guard released the meta word on the way out: both modes still work.
+  EXPECT_TRUE(lock.lock_shared(ctx));
+  lock.unlock_shared(ctx);
+  expect_still_usable(lock, ctx);
+}
+
+TEST(ReleaseGuard, ConfigureCustomByKindThrows) {
+  native::Domain domain;
+  Lock lock(domain, exclusive_opts());
+  native::Context ctx(domain);
+  // kCustom carries no instance; it is only installable via the unique_ptr
+  // overload.
+  EXPECT_THROW(lock.configure_scheduler(ctx, SchedulerKind::kCustom),
+               LockUsageError);
+  EXPECT_THROW(
+      lock.configure_scheduler(ctx, std::unique_ptr<Scheduler<NP>>{}),
+      LockUsageError);
+  expect_still_usable(lock, ctx);
+}
+
+TEST(ReleaseGuard, ReaderWriterFlipIsRejectedBothWays) {
+  native::Domain domain;
+  native::Context ctx(domain);
+
+  Lock exclusive(domain, exclusive_opts());
+  EXPECT_THROW(exclusive.configure_scheduler(ctx, SchedulerKind::kReaderWriter),
+               LockUsageError);
+  expect_still_usable(exclusive, ctx);
+
+  Lock rw(domain, rw_opts());
+  EXPECT_THROW(rw.configure_scheduler(ctx, SchedulerKind::kFcfs),
+               LockUsageError);
+  EXPECT_TRUE(rw.lock_shared(ctx));
+  rw.unlock_shared(ctx);
+}
+
+TEST(ReleaseGuard, ThreadAttributesOutsideDomainThrows) {
+  native::Domain domain(/*max_threads=*/8);
+  Lock lock(domain, exclusive_opts());
+  native::Context ctx(domain);
+  EXPECT_THROW(
+      lock.set_thread_attributes(ctx, /*tid=*/8, LockAttributes::spin()),
+      LockUsageError);
+  EXPECT_THROW(lock.set_thread_attributes(ctx, /*tid=*/1000,
+                                          LockAttributes::blocking()),
+               LockUsageError);
+  // In-range overrides still install, and the lock still cycles.
+  lock.set_thread_attributes(ctx, /*tid=*/3, LockAttributes::blocking());
+  expect_still_usable(lock, ctx);
+}
+
+TEST(ReleaseGuard, GuardsFireWhileLockIsHeld) {
+  // The misuse guards run before any state mutation, so throwing while the
+  // lock is HELD must not disturb the hold.
+  native::Domain domain;
+  Lock lock(domain, exclusive_opts());
+  native::Context ctx(domain);
+  lock.lock(ctx);
+  EXPECT_THROW((void)lock.try_lock_shared(ctx), LockUsageError);
+  EXPECT_THROW(lock.configure_scheduler(ctx, SchedulerKind::kCustom),
+               LockUsageError);
+  lock.unlock(ctx);
+  expect_still_usable(lock, ctx);
+}
+
+}  // namespace

@@ -1,9 +1,12 @@
 // LockMonitor details and the human-readable reporter.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "relock/adapt/policies.hpp"
 #include "relock/monitor/lock_monitor.hpp"
 #include "relock/monitor/reporter.hpp"
 
@@ -55,6 +58,83 @@ TEST(LockMonitorUnit, ResetClearsEverything) {
   EXPECT_EQ(s.releases, 0u);
   EXPECT_EQ(s.total_hold_ns, 0u);
   for (const auto b : s.hold_histogram) EXPECT_EQ(b, 0u);
+}
+
+TEST(LockMonitorUnit, ResetStartsAFreshWindowAndBumpsGeneration) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  mon.on_acquire(true);
+  mon.on_acquire(false);
+  mon.on_release(700);
+  const std::uint64_t gen0 = mon.snapshot().reset_generation;
+  mon.reset();
+  const LockStats after = mon.snapshot();
+  EXPECT_EQ(after.reset_generation, gen0 + 1);
+  EXPECT_EQ(after.acquisitions, 0u);
+  EXPECT_EQ(after.releases, 0u);
+  EXPECT_EQ(after.max_hold_ns, 0u);  // maxima restart, not subtract
+  // Post-reset events count from zero.
+  mon.on_acquire(false);
+  mon.on_release(300);
+  const LockStats s = mon.snapshot();
+  EXPECT_EQ(s.acquisitions, 1u);
+  EXPECT_EQ(s.releases, 1u);
+  EXPECT_EQ(s.max_hold_ns, 300u);
+}
+
+TEST(LockMonitorUnit, DeltaAcrossResetNeverUnderflows) {
+  LockMonitor mon;
+  mon.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    mon.on_acquire(true);
+    mon.on_release(100);
+  }
+  const LockStats prev = mon.snapshot();
+  mon.reset();
+  // A smaller post-reset window than the pre-reset one: naive subtraction
+  // would wrap to ~2^64.
+  mon.on_acquire(true);
+  mon.on_release(100);
+  const LockStats cur = mon.snapshot();
+  ASSERT_NE(cur.reset_generation, prev.reset_generation);
+  const adapt::StatsDelta d = adapt::delta_between(prev, cur);
+  EXPECT_EQ(d.acquisitions, 1u);
+  EXPECT_EQ(d.contended, 1u);
+  EXPECT_LT(d.acquisitions, 1u << 20);  // no wraparound
+}
+
+TEST(LockMonitorUnit, ConcurrentResetNeverShowsNegativeWindows) {
+  // Writers hammer the sharded counters while the main thread repeatedly
+  // resets and snapshots. Every snapshot must be a sane small window -
+  // before snapshot-coherent reset, a racing reset could zero some shards
+  // after they were merged, and later snapshots saw raw < baseline wrap
+  // to astronomically large values.
+  LockMonitor mon;
+  mon.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 2; ++i) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        mon.on_acquire(true);
+        mon.on_release(100);
+        mon.on_block();
+        mon.on_wakeup();
+      }
+    });
+  }
+  constexpr std::uint64_t kSane = std::uint64_t{1} << 60;
+  for (int i = 0; i < 2'000; ++i) {
+    mon.reset();
+    const LockStats s = mon.snapshot();
+    EXPECT_LT(s.acquisitions, kSane) << "iteration " << i;
+    EXPECT_LT(s.releases, kSane) << "iteration " << i;
+    EXPECT_LT(s.blocks, kSane) << "iteration " << i;
+    EXPECT_LT(s.total_hold_ns, kSane) << "iteration " << i;
+    for (const auto b : s.hold_histogram) EXPECT_LT(b, kSane);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
 }
 
 TEST(LockMonitorUnit, HistogramBucketsPopulate) {
