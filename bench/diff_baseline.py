@@ -4,9 +4,13 @@
 Usage:
     diff_baseline.py CURRENT.json BASELINE.json [--tolerance 0.25]
                      [--warn-drop 0.05] [--fail-drop 0.15]
+                     [--min-improve 0.05]
 
 Compares ops/sec cell by cell (matched on threads/scheduler/policy; cells
-present in only one file are reported and skipped).
+present in only one file are reported and skipped). Improvements are
+reported symmetrically with drops: a cell whose ops/sec rose more than
+--min-improve (default 5%) above baseline prints IMPROVED, and the summary
+counts them - a perf PR's win should be as visible in CI as a regression.
 
 Two gates are available and compose:
 
@@ -60,6 +64,9 @@ def main():
     ap.add_argument("--fail-drop", type=float, default=None,
                     help="fail when current drops more than this fraction "
                          "below baseline (e.g. 0.15 = fail past a 15%% drop)")
+    ap.add_argument("--min-improve", type=float, default=0.05,
+                    help="report IMPROVED when current rises more than this "
+                         "fraction above baseline (default 0.05)")
     args = ap.parse_args()
 
     current, cur_doc = load_cells(args.current)
@@ -73,7 +80,9 @@ def main():
 
     regressions = []
     warnings = 0
+    improvements = 0
     compared = 0
+    best_improvement = None  # (ratio, key)
     for key in sorted(baseline.keys() & current.keys()):
         cur, base = current[key], baseline[key]
         if ("oversubscribed" in cur and "oversubscribed" in base
@@ -85,6 +94,11 @@ def main():
                  if base["ops_per_sec"] > 0 else float("inf"))
         drop = 1.0 - ratio
         status = "OK"
+        if -drop > args.min_improve:
+            status = "IMPROVED"
+            improvements += 1
+            if best_improvement is None or ratio > best_improvement[0]:
+                best_improvement = (ratio, key)
         if args.warn_drop is not None and drop > args.warn_drop:
             status = "WARN"
             warnings += 1
@@ -105,12 +119,17 @@ def main():
     for key in sorted(current.keys() - baseline.keys()):
         print(f"       NEW  {key} present only in current")
 
-    print(f"\n{compared} cells compared, {warnings} warning(s), "
+    print(f"\n{compared} cells compared, {improvements} improved, "
+          f"{warnings} warning(s), "
           f"{len(regressions)} regression(s), tolerance {args.tolerance}"
           + (f", warn-drop {args.warn_drop}" if args.warn_drop is not None
              else "")
           + (f", fail-drop {args.fail_drop}" if args.fail_drop is not None
              else ""))
+    if best_improvement is not None:
+        ratio, (threads, sched, policy) = best_improvement
+        print(f"best improvement: {threads} {sched} {policy} "
+              f"at {ratio:.2f}x baseline")
     return 1 if regressions else 0
 
 

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "cycle_common.hpp"
 #include "relock/core/configurable_lock.hpp"
 #include "relock/monitor/reporter.hpp"
 #include "relock/platform/clock.hpp"
@@ -178,6 +179,45 @@ CellResult run_cell(std::uint32_t threads, const SchedSpec& sched,
   return r;
 }
 
+/// The `uncontended_cycle` cell family: cycle-granularity acquire+release
+/// cost on one thread via the batch harness in cycle_common.hpp. The
+/// p50/p99 columns carry the *per-operation cycle* cost in ns (the
+/// contended cells' per-op clock sampling floors their wait columns at the
+/// vDSO clock cost and their ops/sec at ~2 clock reads per op; this family
+/// reads the clock once per 4096 ops).
+CellResult run_uncontended_cell(const SchedSpec& sched, Nanos window_ns) {
+  native::Domain domain;
+  Lock::Options opts;
+  opts.scheduler = sched.kind;
+  opts.attributes = LockAttributes::spin();
+  Lock lock(domain, opts);
+  native::Context ctx(domain);
+  std::uint64_t shared_counter = 0;
+  const bench::UncontendedCycles c = bench::measure_uncontended_cycles(
+      ctx, lock, window_ns, [&shared_counter] { ++shared_counter; });
+
+  CellResult r;
+  r.threads = 1;
+  r.scheduler = sched.name;
+  r.policy = "uncontended_cycle";
+  r.oversubscribed = false;
+  r.total_ops = c.total_ops;
+  r.p50_wait_ns = c.p50_cycle_ns;
+  r.p99_wait_ns = c.p99_cycle_ns;
+  r.ops_per_sec = c.elapsed_ns == 0 ? 0.0
+                                    : static_cast<double>(c.total_ops) * 1e9 /
+                                          static_cast<double>(c.elapsed_ns);
+  if (shared_counter != r.total_ops) {
+    std::fprintf(stderr,
+                 "FATAL: lost updates (%llu ops vs %llu increments) in "
+                 "1/%s/uncontended_cycle\n",
+                 static_cast<unsigned long long>(r.total_ops),
+                 static_cast<unsigned long long>(shared_counter), sched.name);
+    std::exit(1);
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +265,18 @@ int main(int argc, char** argv) {
               "policy", "ops/sec", "p50_wait_us", "p99_wait_us", "oversub");
 
   std::vector<CellResult> results;
+  // Cycle-granularity uncontended cells first: these are the fast-path
+  // trajectory anchor and the cells bench-smoke hard-gates with --fail-drop.
+  for (const SchedSpec& sc : scheds) {
+    const CellResult r = run_uncontended_cell(sc, window_ns);
+    std::printf("%8u %-16s %-14s %14.0f %12.1f %12.1f %8s\n", r.threads,
+                r.scheduler, r.policy, r.ops_per_sec,
+                static_cast<double>(r.p50_wait_ns) / 1000.0,
+                static_cast<double>(r.p99_wait_ns) / 1000.0,
+                r.oversubscribed ? "yes" : "no");
+    std::fflush(stdout);
+    results.push_back(r);
+  }
   for (const std::uint32_t n : sweep) {
     for (const SchedSpec& sc : scheds) {
       for (const PolicySpec& po : policies) {

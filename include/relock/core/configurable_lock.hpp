@@ -52,6 +52,21 @@
 // counter for priority-sensitive kinds) and publishes ownership with a
 // single store to the successor's waiter-local grant flag. See
 // DESIGN.md "The configuration-quiescence epoch".
+//
+// The fissile fast path (kRealConcurrency): on top of all of the above the
+// state word carries a second bit - kStateContended, "full mode". While it
+// is clear the lock is in *fast mode*: no waiter is registered anywhere the
+// release module would have to look, so for a fast-eligible configuration
+// (exclusive, passive, non-recursive, non-advisory) acquire is one
+// test-and-set and release is one CAS of held->free that bypasses the
+// release module entirely. Any waiter that registers state the release
+// module must observe sets the contended bit first (arrival stack:
+// mark-after-push; centralized sleepers: mark under meta), which makes the
+// release CAS fail and routes the owner through the full path. The bit is
+// sticky across handoff chains and cleared only by the guarded path's
+// free-publish, which is exactly the point where no waiter remains - so
+// the lock re-enters fast mode by itself once contention drains. See
+// DESIGN.md "The fissile fast path".
 #pragma once
 
 #include <algorithm>
@@ -144,6 +159,10 @@ class ConfigurableLock {
   ConfigurableLock(Domain& domain, Options opts = Options{})
       : domain_(domain),
         opts_(opts),
+        fast_eligible_(kRealConcurrency<P> && !opts.recursive &&
+                       !opts.advisory &&
+                       opts.execution == Execution::kPassive &&
+                       opts.scheduler != SchedulerKind::kReaderWriter),
         meta_(domain, 0, opts.placement),
         state_(domain, 0, opts.placement),
         owner_(domain, 0, opts.placement),
@@ -190,11 +209,15 @@ class ConfigurableLock {
       ++recursion_depth_;
       return true;
     }
-    if (P::fetch_or(ctx, state_, 1) == 0) {
+    if (claimed(P::fetch_or(ctx, state_, kStateHeld))) {
       if constexpr (kRealConcurrency<P>) {
-        on_acquired_exclusive(
-            ctx, /*contended=*/false,
-            monitor_.enabled() && monitor_.timing_sample() ? P::now(ctx) : 0);
+        const Nanos t0 =
+            monitor_.enabled() && monitor_.timing_sample() ? P::now(ctx) : 0;
+        if (fast_eligible_) {
+          on_acquired_fast(ctx, t0);
+        } else {
+          on_acquired_exclusive(ctx, /*contended=*/false, t0);
+        }
       } else {
         on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
       }
@@ -239,6 +262,20 @@ class ConfigurableLock {
           monitor_.on_release(P::now(ctx) - acquire_time_);
         } else {
           monitor_.on_release();
+        }
+      }
+      if (fast_eligible_) {
+        // Fissile fast unlock: in fast mode (contended bit clear) no
+        // waiter state exists for the release module to serve, so one CAS
+        // of held->free is the whole release. The CAS (not a plain store)
+        // is what makes this sound: a waiter's mark landing first makes it
+        // fail, and we fall through to the full paths below. A
+        // fast-eligible lock is passive by definition, so the serving_
+        // probe below is skipped knowingly.
+        chk_point<P>(ctx, "fu.cas");
+        if (P::cas(ctx, state_, kStateHeld, 0)) {
+          note(ctx, LockEvent::kReleaseFree);
+          return;
         }
       }
       if (opts_.execution == Execution::kActive && serving_.load()) {
@@ -393,8 +430,11 @@ class ConfigurableLock {
     note(ctx, LockEvent::kConfigMutateEnd);
     monitor_.on_reconfiguration(/*scheduler_change=*/false);
     if (!held_locked() && scheduler_ != nullptr && !scheduler_->empty()) {
-      // Lock is free with waiters that may have just become eligible.
-      if (P::fetch_or(ctx, state_, 1) == 0) {
+      // Lock is free with waiters that may have just become eligible. The
+      // claim carries the contended bit (kClaimMark): a direct handoff may
+      // follow, and the grantee's release must see full mode while the
+      // remaining waiters stay queued.
+      if (claimed(P::fetch_or(ctx, state_, kClaimMark))) {
         grant_or_free(ctx, kInvalidThread);  // releases meta
         return;
       }
@@ -554,11 +594,24 @@ class ConfigurableLock {
   /// The lock's state per the paper's Figure 4, using a costed read of the
   /// state word: locked, unlocked, or *idle* (free with waiting threads).
   [[nodiscard]] LockState state(Ctx& ctx) {
-    const bool held = P::load(ctx, state_) != 0;
+    const bool held = (P::load(ctx, state_) & kStateHeld) != 0;
     if (held) return LockState::kLocked;
     return waiter_count() > 0 ? LockState::kIdle : LockState::kUnlocked;
   }
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// True when this configuration can take the fissile fast paths at all
+  /// (exclusive, passive, non-recursive, non-advisory on a real platform).
+  [[nodiscard]] bool fast_path_eligible() const noexcept {
+    return fast_eligible_;
+  }
+  /// True when the lock is currently in fast mode: eligible AND the
+  /// contended bit is clear, so the next uncontended acquire/release pair
+  /// is one RMW each. Costed read; advisory under concurrency like the
+  /// other introspection calls.
+  [[nodiscard]] bool in_fast_mode(Ctx& ctx) {
+    return fast_eligible_ && (P::load(ctx, state_) & kStateContended) == 0;
+  }
 
  private:
   enum class WaitResult : std::uint8_t { kGranted, kTimedOut };
@@ -723,6 +776,33 @@ class ConfigurableLock {
     throw LockUsageError(what);
   }
 
+  // ------------------------------------------------ state-word layout ----
+  // bit 0: the busy indicator, exactly as the paper has it.
+  // bit 1 (kRealConcurrency only): "full mode". Set by any waiter that
+  // registers state only the release module can serve (an arrival-stack
+  // record, a centralized sleeper) and by guarded re-grabs of a free word
+  // with such state outstanding; cleared only by the guarded free-publish
+  // in grant_or_free, which runs exactly when no such state remains. While
+  // clear, a fast-eligible owner's release is a single held->free CAS.
+  // Simulated platforms never set the bit (their state word stays 0/1 and
+  // the calibrated tables stay byte-identical), so every comparison of a
+  // state-word RMW result goes through claimed() instead of == 0: the
+  // contended bit may ride along in the previous value with the claim
+  // still having succeeded.
+
+  static constexpr std::uint64_t kStateHeld = 1;
+  static constexpr std::uint64_t kStateContended = 2;
+  /// Or-mask for claims that must leave the word in full mode on real
+  /// platforms (claims that may be followed by a direct handoff, or that
+  /// must disable the fast unlock of whoever wins the word instead).
+  static constexpr std::uint64_t kClaimMark =
+      kRealConcurrency<P> ? (kStateHeld | kStateContended) : kStateHeld;
+
+  /// True iff a state-word claim RMW took the lock: bit 0 was clear.
+  [[nodiscard]] static constexpr bool claimed(std::uint64_t prev) noexcept {
+    return (prev & kStateHeld) == 0;
+  }
+
   // -------------------------------------------------------- acquire ------
 
   bool acquire(Ctx& ctx, bool shared, Nanos timeout_override) {
@@ -753,8 +833,16 @@ class ConfigurableLock {
       t0 = P::now(ctx);
       arrival = t0;
     }
-    // Fast path: one RMW, like a primitive spin lock (paper Table 2).
-    if (P::fetch_or(ctx, state_, 1) == 0) {
+    // Fast path: one RMW, like a primitive spin lock (paper Table 2). For
+    // fast-eligible locks the claim is the whole acquisition: no owner
+    // registration, and one monitor-enabled load gates the bookkeeping.
+    if (claimed(P::fetch_or(ctx, state_, kStateHeld))) {
+      if constexpr (kRealConcurrency<P>) {
+        if (fast_eligible_) {
+          on_acquired_fast(ctx, t0);
+          return true;
+        }
+      }
       on_acquired_exclusive(ctx, /*contended=*/false, t0);
       return true;
     }
@@ -790,7 +878,7 @@ class ConfigurableLock {
       // Re-check under meta: the lock may have been freed meanwhile. The
       // RMW keeps us correct against fast-path acquirers who do not take
       // meta.
-      if (!shared && P::fetch_or(ctx, state_, 1) == 0) {
+      if (!shared && claimed(P::fetch_or(ctx, state_, kStateHeld))) {
         holders_ = 1;
         meta_unlock(ctx);
         on_acquired_exclusive(ctx, /*contended=*/true, t0);
@@ -902,12 +990,22 @@ class ConfigurableLock {
                            std::memory_order_release);
     waiter_count_.fetch_add(1, std::memory_order_relaxed);
 
-    // Lost-release guard: a releaser that drained before our push may have
-    // published the lock free and left. Our push was an RMW on the arrivals
-    // word and the releaser re-checks it with an RMW after publishing free,
-    // so at least one side observes the other: if we see the free state, we
-    // close the gate and run the release module ourselves.
-    if (P::load(ctx, state_) == 0 && P::fetch_or(ctx, state_, 1) == 0) {
+    // Full-mode mark + lost-release guard. The contended-bit fetch_or does
+    // two jobs. (a) It disables the owner's single-CAS fast unlock while
+    // our record sits on the arrival stack or a scheduler queue - a fast
+    // unlock neither drains arrivals nor runs the release module, so
+    // without the mark a fast unlock/lock pair could strand us. Ordering
+    // matters: mark AFTER push, or a racing guarded free-publish (which
+    // stores 0) could erase a mark made before our record was visible.
+    // (b) It doubles as the lost-release Dekker re-check: a releaser that
+    // drained before our push may have published the lock free and left,
+    // but our push was an RMW on the arrivals word and the releaser
+    // re-checks that word with an RMW after publishing free, so at least
+    // one side observes the other - if we see the free state, we close the
+    // gate and run the release module ourselves.
+    chk_point<P>(ctx, "arr.mark");
+    if (claimed(P::fetch_or(ctx, state_, kStateContended)) &&
+        claimed(P::fetch_or(ctx, state_, kStateHeld))) {
       meta_lock(ctx);
       grant_or_free(ctx, kInvalidThread);  // drains arrivals, may grant us
     }
@@ -962,7 +1060,7 @@ class ConfigurableLock {
           attrs.timeout_ns;
     }
 
-    if (P::fetch_or(ctx, state_, 1) == 0) {
+    if (claimed(P::fetch_or(ctx, state_, kStateHeld))) {
       on_acquired_exclusive(ctx, /*contended=*/true, t0);
       return true;
     }
@@ -1093,16 +1191,32 @@ class ConfigurableLock {
         } else {
           bool parked = false;
           if constexpr (kRealConcurrency<P>) {
-            // Oversubscription escalation: a policy with no sleep phase of
-            // its own parks - in place of further yields - once the streak
-            // shows the grant-holder is not being scheduled; every yield a
-            // doomed spinner takes steals a quantum from the thread that
-            // must produce the grant. Only records registered sleepable may
-            // park (their grant signals the parker; the token protocol
-            // absorbs a grant landing between the check and the park).
-            if (sleep_ns == 0 && rec.may_sleep &&
-                streak >= kStreakBeforeParkOversubscribed &&
+            // Oversubscription escalation: once the streak shows the
+            // grant-holder is not being scheduled, stop probing - every
+            // yield a doomed spinner takes steals a quantum from the
+            // thread that must produce the grant. A policy with a sleep
+            // phase of its own breaks to it early (without this, a
+            // combined policy burns its whole spin budget as yields every
+            // round and lands far below both pure spin and pure blocking -
+            // the fcfs/combined_100 collapse in BENCH_native_throughput);
+            // a policy without one parks right here. The streak is not
+            // reset on wakeup, so the budget does not re-arm: a still-
+            // oversubscribed waiter goes straight back to sleeping. Only
+            // records registered sleepable escalate (their grant signals
+            // the parker; the token protocol absorbs a grant landing
+            // between the check and the park).
+            if (rec.may_sleep && streak >= kStreakBeforeParkOversubscribed &&
                 P::oversubscribed(ctx)) {
+              if (sleep_ns != 0) {
+                // One spin step before the early sleep: a timed park alone
+                // carries no progress guarantee in the relock-check model
+                // (its timeout re-arms without a gated point, so a maximal
+                // adversary can starve the releaser forever), and the
+                // gated pause/yield inside spin_step is what hands the
+                // schedule back. On hardware it costs one PAUSE.
+                spin_step(ctx, streak);
+                break;  // to this policy's own sleep phase
+              }
               parked = true;
               monitor_.on_block();
               if (deadline == kForever) {
@@ -1182,7 +1296,8 @@ class ConfigurableLock {
 
       // Spin phase: test-and-test-and-set probes.
       for (std::uint32_t i = 0; i < probes;) {
-        if (P::load(ctx, state_) == 0 && P::fetch_or(ctx, state_, 1) == 0) {
+        if (claimed(P::load(ctx, state_)) &&
+            claimed(P::fetch_or(ctx, state_, kStateHeld))) {
           return WaitResult::kGranted;
         }
         monitor_.on_spin_probe();
@@ -1203,9 +1318,15 @@ class ConfigurableLock {
       }
 
       // Sleep phase: register on the sleeper list; release wakes everyone.
+      // The claim carries the contended bit (kClaimMark): if the word is
+      // held, the mark disables the holder's single-CAS fast unlock BEFORE
+      // we register as a sleeper - a fast unlock wakes nobody. (A
+      // successful claim sets the bit spuriously on ourselves; our own
+      // release then takes the guarded path once and free-publish clears
+      // it.)
       meta_lock(ctx);
-      if (P::fetch_or(ctx, state_, 1) == 0) {  // freed while we took meta
-        holders_ = 1;
+      if (claimed(P::fetch_or(ctx, state_, kClaimMark))) {
+        holders_ = 1;  // freed while we took meta
         meta_unlock(ctx);
         return WaitResult::kGranted;
       }
@@ -1609,9 +1730,15 @@ class ConfigurableLock {
           // Mirror of the arrival path's lost-release guard: re-examine the
           // arrival stack with an RMW after publishing free. A waiter whose
           // push raced our drain either sees the free state itself or is
-          // seen here; if seen, re-close the gate and serve it.
+          // seen here; if seen, re-close the gate and serve it. The re-grab
+          // carries the contended bit (kClaimMark): the free-publish above
+          // erased the raced waiter's mark, so if a fast-path acquirer
+          // steals the word between our store and this RMW, the bit we set
+          // here is what routes the thief's release through the full path
+          // to drain that waiter - without it a single-CAS fast unlock
+          // would strand the record on the stack.
           if (P::fetch_add(ctx, arrivals_, 0) != 0 &&
-              P::fetch_or(ctx, state_, 1) == 0) {
+              claimed(P::fetch_or(ctx, state_, kClaimMark))) {
             hint = kInvalidThread;
             continue;
           }
@@ -1751,6 +1878,22 @@ class ConfigurableLock {
   }
 
   // ----------------------------------------------------- bookkeeping -----
+
+  /// Bookkeeping for a fast-mode claim (fast_eligible_ locks on real
+  /// platforms only). The owner word is not written: nothing reads it
+  /// unless the lock is recursive, and recursive locks are never
+  /// fast-eligible. One monitor-enabled load gates everything else;
+  /// acquire_time_ is still cleared when the monitor is off so a later
+  /// monitored release cannot pair with a stale stamp.
+  void on_acquired_fast(Ctx& ctx, Nanos t0) {
+    note_trace(ctx, LockEvent::kAcquireFast, ctx.self());
+    if (monitor_.enabled()) {
+      monitor_.on_acquire(/*contended=*/false);
+      acquire_time_ = t0 != 0 ? P::now(ctx) : 0;
+    } else {
+      acquire_time_ = 0;
+    }
+  }
 
   void on_acquired_exclusive(Ctx& ctx, bool contended, Nanos t0) {
     note_trace(ctx,
@@ -2007,10 +2150,15 @@ class ConfigurableLock {
 
   Domain& domain_;
   Options opts_;
+  /// Static half of the fast-mode gate, fixed at construction: true for
+  /// configurations whose uncontended acquire/release touch nothing the
+  /// bypassed machinery maintains (exclusive + passive + non-recursive +
+  /// non-advisory). The dynamic half is the kStateContended bit.
+  const bool fast_eligible_;
 
   // Simulated/atomic words (object + configuration state, Figure 5).
   typename P::Word meta_;         ///< TAS guard for internal structures
-  typename P::Word state_;        ///< 0 = free, 1 = held (busy indicator)
+  typename P::Word state_;        ///< bit 0 held; bit 1 full mode (kReal)
   typename P::Word owner_;        ///< exclusive owner tid+1, 0 = none
   typename P::Word advice_;       ///< Advice published by the owner
   typename P::Word config_word_;  ///< waiting-policy version (1R1W proxy)

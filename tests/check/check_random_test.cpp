@@ -56,6 +56,14 @@ TEST_F(RelockCheckRandom, Churn3WithInjections) {
   explore_clean(scenarios::churn3());
 }
 
+TEST_F(RelockCheckRandom, AdvisoryFanout3) {
+  explore_clean(scenarios::advisory3());
+}
+
+TEST_F(RelockCheckRandom, GuardedHandoff3) {
+  explore_clean(scenarios::guarded3());
+}
+
 TEST_F(RelockCheckRandom, PriorityFairness4) {
   explore_clean(scenarios::prio4());
 }

@@ -16,6 +16,9 @@
 #include "relock/check/engine.hpp"
 #include "relock/check/platform.hpp"
 #include "relock/core/configurable_lock.hpp"
+#ifdef RELOCK_TRACE
+#include "relock/trace/trace.hpp"
+#endif
 
 namespace relock::chk::scenarios {
 
@@ -23,10 +26,11 @@ using Lock = relock::ConfigurableLock<CheckPlatform>;
 
 inline std::shared_ptr<Lock> make_lock(
     ScenarioFrame& f, SchedulerKind kind,
-    LockAttributes attrs = LockAttributes::spin()) {
+    LockAttributes attrs = LockAttributes::spin(), bool advisory = false) {
   Lock::Options o;
   o.scheduler = kind;
   o.attributes = attrs;
+  o.advisory = advisory;
   return std::make_shared<Lock>(f.domain(), o);
 }
 
@@ -170,6 +174,132 @@ inline Scenario fanout3() {
     for (int i = 0; i < 3; ++i) {
       f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
     }
+  };
+  return s;
+}
+
+/// Fissile fast release racing the first waiter's enqueue. The holder
+/// yields between its critical section and the release so the contender's
+/// record push and contended-bit mark (arr.mark) interleave with the
+/// held->free CAS (fu.cas) without spending DFS preemptions. Every
+/// ordering must be sound: CAS first and the arrival claims the free word
+/// or registers against a free lock; mark first and the CAS fails, routing
+/// the release through the full path to drain the record. The lost-grant
+/// strand (fast CAS succeeding with a pushed-but-unmarked record left
+/// behind) is exactly what the liveness oracle would flag.
+inline Scenario fissile_arrival2() {
+  Scenario s;
+  s.name = "fissile_arrival2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// Fissile cycles racing a scheduler swap: the configure's QuiesceGuard
+/// (breaker arm, epoch drain) must exclude the one-CAS release - a fast
+/// release that began before the breaker armed must be drained, one that
+/// starts after must observe the full path - and the lock must come back
+/// fissile after the install (the fast path keys off the state word only,
+/// so no re-arming step exists to forget).
+inline Scenario fissile_config2() {
+  Scenario s;
+  s.name = "fissile_config2";
+  s.fairness = FairnessMode::kNone;  // two Gammas: only the generation rule
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->configure_scheduler(ctx, SchedulerKind::kPriorityQueue);
+      lock_cycle(lk, ctx);
+    });
+  };
+  return s;
+}
+
+#ifdef RELOCK_TRACE
+/// Fissile fast acquire racing a trace enable: the fast path reads the
+/// trace gate once per operation, so the toggle may land before or after
+/// any given acquire/release - partial rings are expected and every
+/// ordering must leave the oracles silent. The build hook resets the
+/// registry so each explored schedule starts from trace-off.
+inline Scenario fissile_trace2() {
+  Scenario s;
+  s.name = "fissile_trace2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto& reg = trace::Registry::instance();
+    reg.set_enabled(false);
+    reg.clear();
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    f.add_thread(1, [lk](Context& ctx) {
+      trace::Registry::instance().set_enabled(true);
+      lock_cycle(lk, ctx);
+    });
+  };
+  return s;
+}
+#endif
+
+/// fanout3 on an advisory lock. Advisory locks are not fissile-eligible,
+/// so a releaser with no visible waiter still walks release_fast into the
+/// select-empty guarded detour - the route into seeded bug 1's window
+/// (grant_or_free's exclusive handoff overlapping the new owner's own
+/// fast release). On a fissile lock that release is now a single CAS and
+/// the detour is unreachable without a breaker armed.
+inline Scenario advisory3() {
+  Scenario s;
+  s.name = "advisory3";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs, LockAttributes::spin(),
+                        /*advisory=*/true);
+    for (int i = 0; i < 3; ++i) {
+      f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    }
+  };
+  return s;
+}
+
+/// Guarded-handoff window: a bare possession window (breaker armed, no
+/// configuration) straddling the holder's release forces it off the
+/// fissile release onto the guarded path while a waiter is queued, so
+/// grant_or_free's exclusive handoff can overlap the new owner's own fast
+/// release once the breaker disarms - the window of seeded bug 1. (The
+/// plain fanout3 can no longer reach that overlap: with no breaker armed,
+/// a releaser that would have taken the select-empty guarded detour now
+/// short-circuits at the fissile held->free CAS.)
+inline Scenario guarded3() {
+  Scenario s;
+  s.name = "guarded3";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs);
+    for (int i = 0; i < 2; ++i) {
+      f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+    }
+    f.add_thread(1, [lk](Context& ctx) {
+      if (lk->try_possess(ctx, AttributeClass::kWaitingPolicy)) {
+        lk->release_possession(ctx, AttributeClass::kWaitingPolicy);
+      }
+    });
   };
   return s;
 }

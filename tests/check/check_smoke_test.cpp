@@ -52,6 +52,18 @@ TEST(RelockCheckSmoke, Swap2Exhaustive) {
   expect_exhaustive(scenarios::swap2(), 2);
 }
 
+TEST(RelockCheckSmoke, FissileArrival2Exhaustive) {
+  // fu.cas vs arr.mark: the held->free CAS of a fissile release against
+  // the first waiter's push + contended-bit mark, every ordering.
+  expect_exhaustive(scenarios::fissile_arrival2(), 2);
+}
+
+TEST(RelockCheckSmoke, FissileConfig2Exhaustive) {
+  // Fissile cycles against a scheduler swap's quiescence epoch, including
+  // fast-mode re-entry after the install.
+  expect_exhaustive(scenarios::fissile_config2(), 2);
+}
+
 TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
   // Snapshot-coherent monitor reset racing a lock/unlock stream: the
   // scenario body asserts that no explored schedule sees a counter window
@@ -63,6 +75,12 @@ TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
 // ~1 min) runs under the `stress` ctest label, see check_deep_test.
 TEST(RelockCheckSmoke, Fanout3Bound2Exhaustive) {
   expect_exhaustive(scenarios::fanout3(), 2);
+}
+
+TEST(RelockCheckSmoke, Guarded3Bound2Exhaustive) {
+  // Possession window forcing a fissile releaser onto the guarded handoff
+  // path - the fast->full->fast round trip with a waiter in flight.
+  expect_exhaustive(scenarios::guarded3(), 2);
 }
 
 // The engine is deterministic: the same strategy explores the identical

@@ -115,4 +115,26 @@ TEST(RelockCheckTrace, Fanout3TraceEqualsEngineLog) {
   }
 }
 
+TEST(RelockCheckTrace, FissileTraceEnable2Exhaustive) {
+  // A model thread flips the trace gate on mid-schedule while the other
+  // runs fissile cycles: the fast path's single enabled() load may observe
+  // the toggle at any point. Exhaustive DFS(2): every ordering completes
+  // with silent oracles; the rings legitimately hold partial streams, so
+  // no record-for-record comparison applies here.
+  auto& reg = trace::Registry::instance();
+  reg.set_ring_capacity(1u << 14);
+  Engine eng;
+  DfsStrategy st(2, /*max_schedules=*/0);
+  const ExploreResult r = eng.explore(scenarios::fissile_trace2(), st);
+  reg.set_enabled(false);
+  reg.clear();
+  EXPECT_FALSE(r.failed) << r.summary();
+  EXPECT_TRUE(r.complete) << r.summary();
+  EXPECT_TRUE(st.exhausted()) << "bounded space not exhausted: "
+                              << r.summary();
+  std::printf("[relock-check] %-16s %-12s %8llu schedules\n",
+              "fissile_trace2", st.describe().c_str(),
+              static_cast<unsigned long long>(r.schedules));
+}
+
 }  // namespace

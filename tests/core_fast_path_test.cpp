@@ -1,0 +1,159 @@
+// Fissile fast-path entry/exit invariants on NativePlatform. The fast path
+// has no mode word of its own - eligibility is fixed at construction and
+// "fast mode" is just the contended bit of the state word being clear - so
+// what these tests pin down is the lifecycle: which configurations are
+// eligible at all, that uncontended cycles stay in fast mode, that the
+// first contender demotes the lock to full mode, and that the lock comes
+// back to fast mode on its own once waiters drain or a reconfiguration
+// completes (no re-arming step exists to forget).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/native.hpp"
+
+namespace relock {
+namespace {
+
+using native::NativePlatform;
+using Lock = ConfigurableLock<NativePlatform>;
+
+Lock::Options opts(SchedulerKind kind = SchedulerKind::kFcfs) {
+  Lock::Options o;
+  o.scheduler = kind;
+  o.attributes = LockAttributes::spin();
+  return o;
+}
+
+/// Polls a probe until it reports `want` (bounded): the transitions under
+/// test are driven by another thread's store, not by this thread's calls.
+template <typename F>
+void await(F&& probe, bool want) {
+  const Nanos deadline = monotonic_now() + 10'000'000'000;  // 10 s
+  while (probe() != want) {
+    ASSERT_LT(monotonic_now(), deadline) << "probe never reached state";
+    std::this_thread::yield();
+  }
+}
+
+TEST(FastPath, EligibilityIsFixedByConfiguration) {
+  native::Domain dom;
+  // Every exclusive passive scheduler kind is fissile-eligible.
+  for (SchedulerKind k :
+       {SchedulerKind::kNone, SchedulerKind::kFcfs,
+        SchedulerKind::kPriorityQueue, SchedulerKind::kHandoff,
+        SchedulerKind::kPriorityThreshold}) {
+    Lock lk(dom, opts(k));
+    EXPECT_TRUE(lk.fast_path_eligible()) << to_string(k);
+  }
+  // Recursion, advisory mode, active execution, and reader-writer
+  // scheduling all need per-acquire bookkeeping the fast path skips.
+  Lock::Options recursive = opts();
+  recursive.recursive = true;
+  EXPECT_FALSE(Lock(dom, recursive).fast_path_eligible());
+  Lock::Options advisory = opts();
+  advisory.advisory = true;
+  EXPECT_FALSE(Lock(dom, advisory).fast_path_eligible());
+  Lock::Options active = opts();
+  active.execution = Execution::kActive;
+  EXPECT_FALSE(Lock(dom, active).fast_path_eligible());
+  EXPECT_FALSE(Lock(dom, opts(SchedulerKind::kReaderWriter))
+                   .fast_path_eligible());
+}
+
+TEST(FastPath, UncontendedCyclesStayInFastMode) {
+  native::Domain dom;
+  Lock lk(dom, opts());
+  native::Context ctx(dom);
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  for (int i = 0; i < 100; ++i) {
+    lk.lock(ctx);
+    // Fast mode is a property of the contended bit, not of being free:
+    // a fast hold is still fast mode, and state() still reports it held.
+    EXPECT_TRUE(lk.in_fast_mode(ctx));
+    EXPECT_EQ(lk.state(ctx), LockState::kLocked);
+    lk.unlock(ctx);
+    EXPECT_TRUE(lk.in_fast_mode(ctx));
+    EXPECT_EQ(lk.state(ctx), LockState::kUnlocked);
+  }
+  // The conditional entry points share the fast acquire.
+  EXPECT_TRUE(lk.try_lock(ctx));
+  EXPECT_FALSE(lk.try_lock(ctx));  // held: single attempt fails cleanly
+  lk.unlock(ctx);
+  EXPECT_TRUE(lk.lock_for(ctx, 1'000'000));
+  lk.unlock(ctx);
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+}
+
+TEST(FastPath, ReentersFastModeAfterWaitersDrain) {
+  native::Domain dom;
+  Lock lk(dom, opts());
+  native::Context ctx(dom);
+  lk.lock(ctx);
+  std::thread contender([&] {
+    native::Context tctx(dom);
+    lk.lock(tctx);
+    lk.unlock(tctx);
+  });
+  // The contender's arrival mark demotes the lock to full mode while we
+  // still hold it.
+  await([&] { return lk.in_fast_mode(ctx); }, false);
+  lk.unlock(ctx);  // contended bit set: routed through the full release
+  contender.join();
+  // The contender was granted by handoff (full mode is sticky across the
+  // chain); its own release found nobody waiting and published the word
+  // free - which is the one transition that clears the contended bit.
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  lk.lock(ctx);
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  lk.unlock(ctx);
+}
+
+TEST(FastPath, ReentersFastModeAfterReconfiguration) {
+  native::Domain dom;
+  Lock lk(dom, opts());
+  native::Context ctx(dom);
+  lk.lock(ctx);
+  lk.unlock(ctx);
+  // A scheduler swap quiesces the fast release path for its duration but
+  // must hand the fast mode straight back: eligibility is construction-
+  // fixed and the contended bit was never set.
+  lk.configure_scheduler(ctx, SchedulerKind::kPriorityQueue);
+  EXPECT_TRUE(lk.fast_path_eligible());
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  lk.lock(ctx);
+  lk.unlock(ctx);
+  lk.configure_waiting(ctx, LockAttributes::blocking());
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  // Same through a possession window (breaker armed, released unchanged).
+  ASSERT_TRUE(lk.try_possess(ctx, AttributeClass::kWaitingPolicy));
+  lk.lock(ctx);
+  lk.unlock(ctx);  // guarded while the breaker is armed
+  lk.release_possession(ctx, AttributeClass::kWaitingPolicy);
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+  lk.lock(ctx);
+  lk.unlock(ctx);
+}
+
+TEST(FastPath, ContendedConfigureDrainsAndComesBackFast) {
+  // Demote to full mode, reconfigure while a waiter exists, and verify the
+  // drain still converges to fast mode afterwards.
+  native::Domain dom;
+  Lock lk(dom, opts());
+  native::Context ctx(dom);
+  lk.lock(ctx);
+  std::thread contender([&] {
+    native::Context tctx(dom);
+    lk.lock(tctx);
+    lk.unlock(tctx);
+  });
+  await([&] { return lk.in_fast_mode(ctx); }, false);
+  lk.configure_waiting(ctx, LockAttributes::blocking());
+  lk.unlock(ctx);
+  contender.join();
+  EXPECT_TRUE(lk.in_fast_mode(ctx));
+}
+
+}  // namespace
+}  // namespace relock

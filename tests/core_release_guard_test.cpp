@@ -118,6 +118,39 @@ TEST(ReleaseGuard, ThreadAttributesOutsideDomainThrows) {
   expect_still_usable(lock, ctx);
 }
 
+TEST(ReleaseGuard, GuardsFireFromTheFissileFastPath) {
+  // A plain FCFS passive lock takes the fissile fast paths, which skip the
+  // per-acquire bookkeeping - but the shared-mode guards sit in front of
+  // them, so misuse must still throw in a release build, both while the
+  // lock is free in fast mode and while it is fast-held.
+  native::Domain domain;
+  Lock lock(domain, exclusive_opts());
+  native::Context ctx(domain);
+  ASSERT_TRUE(lock.fast_path_eligible());
+  EXPECT_THROW(lock.lock_shared(ctx), LockUsageError);
+  EXPECT_THROW((void)lock.try_lock_shared(ctx), LockUsageError);
+  EXPECT_THROW(lock.unlock_shared(ctx), LockUsageError);
+  EXPECT_TRUE(lock.in_fast_mode(ctx));
+
+  // Fast-held: the guards fire without disturbing the hold or demoting the
+  // lock out of fast mode, and the single-attempt entry stays honest.
+  ASSERT_TRUE(lock.try_lock(ctx));
+  EXPECT_THROW(lock.lock_shared(ctx), LockUsageError);
+  EXPECT_THROW((void)lock.try_lock_shared(ctx), LockUsageError);
+  EXPECT_THROW(lock.unlock_shared(ctx), LockUsageError);
+  EXPECT_FALSE(lock.try_lock(ctx));
+  EXPECT_TRUE(lock.in_fast_mode(ctx));
+  // A timed wait on the self-held lock falls back to the slow path; its
+  // arrival mark demotes the lock to full mode (sticky by design), and the
+  // release that finds nobody waiting publishes the word free, which is
+  // what restores fast mode.
+  EXPECT_FALSE(lock.lock_for(ctx, 1'000'000));
+  EXPECT_FALSE(lock.in_fast_mode(ctx));
+  lock.unlock(ctx);
+  EXPECT_TRUE(lock.in_fast_mode(ctx));
+  expect_still_usable(lock, ctx);
+}
+
 TEST(ReleaseGuard, GuardsFireWhileLockIsHeld) {
   // The misuse guards run before any state mutation, so throwing while the
   // lock is HELD must not disturb the hold.
