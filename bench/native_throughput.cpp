@@ -237,12 +237,14 @@ int main(int argc, char** argv) {
   const std::vector<SchedSpec> scheds =
       smoke ? std::vector<SchedSpec>{{"none", SchedulerKind::kNone},
                                      {"fcfs", SchedulerKind::kFcfs},
-                                     {"handoff", SchedulerKind::kHandoff}}
+                                     {"handoff", SchedulerKind::kHandoff},
+                                     {"queue", SchedulerKind::kQueue}}
             : std::vector<SchedSpec>{
                   {"none", SchedulerKind::kNone},
                   {"fcfs", SchedulerKind::kFcfs},
                   {"priority_queue", SchedulerKind::kPriorityQueue},
-                  {"handoff", SchedulerKind::kHandoff}};
+                  {"handoff", SchedulerKind::kHandoff},
+                  {"queue", SchedulerKind::kQueue}};
   const std::vector<PolicySpec> policies =
       smoke ? std::vector<PolicySpec>{{"spin", LockAttributes::spin()},
                                       {"blocking", LockAttributes::blocking()}}
@@ -349,6 +351,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
   std::fprintf(f, "  \"hw_concurrency\": %u,\n", hw);
+  // Sweep-level oversubscription verdict: whether ANY contended cell ran
+  // with more threads than processors. diff_baseline.py uses this plus
+  // hw_concurrency to refuse silent comparisons across unlike hosts -
+  // oversubscribed cells measure scheduler rotation as much as the lock.
+  std::fprintf(f, "  \"oversubscribed_sweep\": %s,\n",
+               max_threads > hw ? "true" : "false");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"window_ms_per_cell\": %llu,\n",
                static_cast<unsigned long long>(window_ns / 1'000'000));

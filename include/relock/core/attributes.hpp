@@ -112,6 +112,7 @@ enum class SchedulerKind : std::uint8_t {
   kPriorityThreshold,  ///< FCFS among waiters with priority >= threshold
   kHandoff,            ///< releaser hints the next owner
   kReaderWriter,       ///< multiple readers / exclusive writers
+  kQueue,              ///< distributed FIFO: MCS-family queue-node waiting
   kCustom,             ///< user-supplied Scheduler module
 };
 
@@ -123,6 +124,7 @@ enum class SchedulerKind : std::uint8_t {
     case SchedulerKind::kPriorityThreshold: return "priority-threshold";
     case SchedulerKind::kHandoff: return "handoff";
     case SchedulerKind::kReaderWriter: return "reader-writer";
+    case SchedulerKind::kQueue: return "queue (distributed)";
     case SchedulerKind::kCustom: return "custom";
   }
   return "?";

@@ -176,8 +176,10 @@ class ConfigurableLock {
         possess_word_(domain, 0, opts.placement),
         mailbox_(domain, 0, opts.placement),
         arrivals_(domain, 0, opts.placement),
-        scheduler_(make_scheduler<P>(opts.scheduler)),
         scheduler_kind_(opts.scheduler) {
+    // Assigned in the body, not the init list: the kQueue module is a
+    // façade over queue_cell_, a member declared further down.
+    scheduler_ = make_module(opts.scheduler);
     store_attrs(opts.attributes);
     if (scheduler_ != nullptr) {
       scheduler_->set_rw_preference(opts.rw_preference);
@@ -397,7 +399,7 @@ class ConfigurableLock {
     if (kind == SchedulerKind::kCustom) {
       misuse("install custom schedulers by instance (unique_ptr overload)");
     }
-    install_scheduler(ctx, kind, make_scheduler<P>(kind));
+    install_scheduler(ctx, kind, make_module(kind));
   }
 
   /// Installs a user-supplied scheduler module - the extension point the
@@ -407,6 +409,14 @@ class ConfigurableLock {
   void configure_scheduler(Ctx& ctx, std::unique_ptr<Scheduler<P>> custom) {
     if (custom == nullptr) misuse("configure_scheduler with a null scheduler");
     const SchedulerKind kind = custom->kind();
+    if (kind == SchedulerKind::kQueue) {
+      // A user-built distributed-queue module carries its own cell, but
+      // lock-free arrivals tail-swap into the lock-resident one. The
+      // module is stateless apart from the cell, so install a lock-bound
+      // façade instead; the caller's instance is simply discarded.
+      install_scheduler(ctx, kind, make_module(kind));
+      return;
+    }
     install_scheduler(ctx, kind, std::move(custom));
   }
 
@@ -419,7 +429,7 @@ class ConfigurableLock {
     note(ctx, LockEvent::kConfigMutateBegin);
     // A fast release may have pre-dequeued the next grantee; return it so
     // the threshold applies to it too and the empty() probe below is real.
-    reclaim_next_grant();
+    reclaim_next_grant(ctx);
     if (scheduler_ != nullptr) scheduler_->set_threshold(threshold);
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_threshold(threshold);
@@ -864,7 +874,11 @@ class ConfigurableLock {
       // straight to the TTAS waiting engine. The kind read is advisory - a
       // racing reconfiguration is absorbed by the release module (drained
       // records whose scheduler vanished park on the orphan queue).
-      if (arrival_target_kind() != SchedulerKind::kNone) {
+      const SchedulerKind target_kind = arrival_target_kind();
+      if (target_kind == SchedulerKind::kQueue) {
+        return acquire_queue_lockfree(ctx, timeout_override, t0, arrival);
+      }
+      if (target_kind != SchedulerKind::kNone) {
         return acquire_scheduled_lockfree(ctx, timeout_override, t0, arrival);
       }
       return acquire_centralized_lockfree(ctx, timeout_override, t0, arrival);
@@ -912,7 +926,7 @@ class ConfigurableLock {
           on_granted(ctx, shared, t0);
           return true;
         }
-        withdraw(rec);
+        withdraw(ctx, rec);
         meta_unlock(ctx);
         waiter_count_.fetch_sub(1, std::memory_order_relaxed);
         monitor_.on_timeout();
@@ -1037,7 +1051,101 @@ class ConfigurableLock {
       // the record is on no queue, just empty the cache.
       next_grant_.store(nullptr, std::memory_order_relaxed);
     } else {
-      withdraw(rec);
+      withdraw(ctx, rec);
+    }
+    note(ctx, LockEvent::kTimeoutReturn, ctx.self());
+    meta_unlock(ctx);
+    waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+    monitor_.on_timeout();
+    return false;
+  }
+
+  /// Distributed (SchedulerKind::kQueue) contended arrival, kRealConcurrency
+  /// only: the MCS enqueue. The record tail-swaps into the lock-resident
+  /// queue cell and links itself behind its predecessor's inline node; no
+  /// drain into a module queue ever happens. No shared-word spinning
+  /// follows either - wait_queued polls the record-local grant flag under
+  /// the configured waiting component Phi, so the waiting is "distributed"
+  /// in the paper's Fig. 9 sense whatever Phi is.
+  bool acquire_queue_lockfree(Ctx& ctx, Nanos timeout_override, Nanos t0,
+                              Nanos arrival) {
+    LockAttributes attrs = effective_attrs_for(ctx.self());
+    if (timeout_override != 0) attrs.timeout_ns = timeout_override;
+    Nanos deadline = kForever;
+    if (attrs.timeout_ns != 0) {
+      deadline =
+          (arrival != 0 ? arrival : (t0 != 0 ? t0 : P::now(ctx))) +
+          attrs.timeout_ns;
+    }
+    // Oversubscription escalation as in acquire_scheduled_lockfree.
+    WaiterRecord<P> rec(domain_, ctx.self(), ctx.priority(),
+                        grant_flag_placement(ctx), /*shared=*/false,
+                        policy_may_sleep(attrs, opts_.advisory) ||
+                            P::oversubscribed(ctx));
+    rec.enqueue_time = t0;
+    // Same contract as the arrival-stack push: a record that may be
+    // withdrawn off-queue must never be granted or pre-selected by a fast
+    // release racing the withdrawal - armed BEFORE the record becomes
+    // reachable (see acquire_scheduled_lockfree).
+    BreakerToken breaker;
+    if (deadline != kForever) breaker.arm(ctx, *this);
+    // MCS enqueue: swap ourselves in as the tail, then publish the link -
+    // through the predecessor's inline node, or through the cell's
+    // first-arrival slot when the queue was empty. A consumer that sees
+    // the tail but not yet the link waits out this two-store gap.
+    rec.qnext.store(nullptr, std::memory_order_relaxed);
+    chk_point<P>(ctx, "qa.swap");
+    WaiterRecord<P>* const qprev =
+        queue_cell_.tail.exchange(&rec, std::memory_order_seq_cst);
+    note(ctx, LockEvent::kRegistered, ctx.self());
+    if (qprev != nullptr) {
+      chk_point<P>(ctx, "qa.link");
+      qprev->qnext.store(&rec, std::memory_order_release);
+    } else {
+      chk_point<P>(ctx, "qa.first");
+      queue_cell_.first.store(&rec, std::memory_order_release);
+    }
+    queue_cell_.count.fetch_add(1, std::memory_order_relaxed);
+    waiter_count_.fetch_add(1, std::memory_order_relaxed);
+
+    // Full-mode mark + lost-release guard, exactly as the stack push: the
+    // contended bit disables the owner's single-CAS fast unlock while our
+    // node is linked (demoting a fissile lock out of fast mode), and the
+    // fetch_or doubles as the lost-release Dekker re-check - the guarded
+    // free-publish re-examines the cell's tail alongside the arrival
+    // stack, behind a full-fence RMW, so at least one side observes the
+    // other.
+    chk_point<P>(ctx, "arr.mark");
+    if (claimed(P::fetch_or(ctx, state_, kStateContended)) &&
+        claimed(P::fetch_or(ctx, state_, kStateHeld))) {
+      meta_lock(ctx);
+      grant_or_free(ctx, kInvalidThread);  // serves the cell, may grant us
+    }
+
+    const WaitResult r = wait_queued(ctx, rec, attrs, deadline);
+    if (r == WaitResult::kGranted) {
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, /*shared=*/false, t0);
+      return true;
+    }
+    // Timeout: MCS-with-timeout node self-removal. Wait out any fast
+    // release that began before our breaker armed (it may have popped,
+    // granted, or cached this record), then resolve the grant race and
+    // unlink the node from wherever it lives now - the cell, a module a
+    // reconfiguration migrated it to, or the orphan queue.
+    meta_lock(ctx);
+    wait_fast_releases(ctx);
+    if (rec.granted_flag_host || P::load(ctx, rec.granted) != 0) {
+      meta_unlock(ctx);
+      waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+      on_granted(ctx, /*shared=*/false, t0);
+      return true;
+    }
+    chk_point<P>(ctx, "to.cache");
+    if (next_grant_.load(std::memory_order_relaxed) == &rec) {
+      next_grant_.store(nullptr, std::memory_order_relaxed);
+    } else {
+      withdraw(ctx, rec);
     }
     note(ctx, LockEvent::kTimeoutReturn, ctx.self());
     meta_unlock(ctx);
@@ -1120,16 +1228,219 @@ class ConfigurableLock {
     }
   }
 
-  /// Meta held. Removes a timed-out record from wherever it is registered:
-  /// the scheduler module that actually enqueued it (which may no longer be
-  /// the current one after a reconfiguration), or the orphan queue.
-  void withdraw(WaiterRecord<P>& rec) {
+  // ------------------- distributed queue (kQueue) consumer side ----------
+  // kRealConcurrency only. Producers are acquire_queue_lockfree arrivals
+  // (lock-free tail-swap) plus meta-holders enqueuing through the façade
+  // (drains, migrations) - the latter run on the consumer's own thread and
+  // open no windows. The consumer role itself is exclusive: it belongs to
+  // the state-word owner (fast releases, grant_or_free behind a claim) or
+  // to meta-holders with no fast release in flight (configuration under a
+  // quiesced epoch, timeout resolution after wait_fast_releases), and those
+  // two regimes exclude each other exactly as module ops always have.
+  // Unlike the façade's non-waiting operations, these wait out producers'
+  // two-store publication windows with gated spins: the producer's very
+  // next platform access after linking (the arr.mark fetch_or) re-enables
+  // a gated spinner under the checker, so the waits are finite there too.
+
+  /// Adopts the current generation's published first arrival into the
+  /// consumer cursor. Caller observed tail != nullptr with head == nullptr,
+  /// so a producer is committed to publishing the slot.
+  void queue_adopt_first(Ctx& ctx) {
+    chk_point<P>(ctx, "qc.first");
+    WaiterRecord<P>* f;
+    std::uint32_t streak = 0;
+    while ((f = queue_cell_.first.load(std::memory_order_acquire)) ==
+           nullptr) {
+      spin_step(ctx, streak);
+    }
+    queue_cell_.head = f;
+    queue_cell_.first.store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// Pops the queue head; returns nullptr only when the cell is empty.
+  [[nodiscard]] WaiterRecord<P>* queue_pop(Ctx& ctx) {
+    WaitQueueCell<P>& c = queue_cell_;
+    if (c.head == nullptr) {
+      if (c.tail.load(std::memory_order_seq_cst) == nullptr) return nullptr;
+      queue_adopt_first(ctx);
+    }
+    WaiterRecord<P>* const h = c.head;
+    WaiterRecord<P>* nxt = h->qnext.load(std::memory_order_acquire);
+    if (nxt == nullptr) {
+      // No visible successor: h may be the last node. Swing the tail back
+      // to empty; losing the CAS means a producer swapped in behind h, so
+      // adopt its link once it lands.
+      WaiterRecord<P>* expected = h;
+      if (c.tail.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_seq_cst)) {
+        c.head = nullptr;
+        c.count.fetch_sub(1, std::memory_order_relaxed);
+        return h;
+      }
+      chk_point<P>(ctx, "qc.chase");
+      std::uint32_t streak = 0;
+      while ((nxt = h->qnext.load(std::memory_order_acquire)) == nullptr) {
+        spin_step(ctx, streak);
+      }
+    }
+    c.head = nxt;
+    h->qnext.store(nullptr, std::memory_order_relaxed);
+    c.count.fetch_sub(1, std::memory_order_relaxed);
+    return h;
+  }
+
+  /// Unlinks `rec` from the cell wherever it sits - MCS-with-timeout node
+  /// self-removal, run by the timed-out thread itself under meta. Returns
+  /// false when the record is not in the cell.
+  [[nodiscard]] bool queue_remove(Ctx& ctx, WaiterRecord<P>& rec) {
+    WaitQueueCell<P>& c = queue_cell_;
+    if (c.head == nullptr) {
+      if (c.tail.load(std::memory_order_seq_cst) == nullptr) return false;
+      queue_adopt_first(ctx);
+    }
+    WaiterRecord<P>* prev = nullptr;
+    WaiterRecord<P>* cur = c.head;
+    while (cur != &rec) {
+      WaiterRecord<P>* nxt = cur->qnext.load(std::memory_order_acquire);
+      if (nxt == nullptr) {
+        if (c.tail.load(std::memory_order_seq_cst) == cur) return false;
+        // A successor (possibly rec) is mid-link behind cur: wait it out.
+        chk_point<P>(ctx, "qc.chase");
+        std::uint32_t streak = 0;
+        while ((nxt = cur->qnext.load(std::memory_order_acquire)) ==
+               nullptr) {
+          spin_step(ctx, streak);
+        }
+      }
+      prev = cur;
+      cur = nxt;
+    }
+    WaiterRecord<P>* nxt = rec.qnext.load(std::memory_order_acquire);
+    if (nxt == nullptr) {
+      // No visible successor: rec may be the tail. Pre-clear the
+      // predecessor's link BEFORE swinging the tail to it - the instant
+      // the CAS lands, a new producer may store through prev->qnext, and
+      // a late clear would erase that link.
+      if (prev != nullptr) {
+        prev->qnext.store(nullptr, std::memory_order_release);
+      }
+      WaiterRecord<P>* expected = &rec;
+      if (c.tail.compare_exchange_strong(expected, prev,
+                                         std::memory_order_seq_cst)) {
+        if (prev == nullptr) c.head = nullptr;
+        rec.qnext.store(nullptr, std::memory_order_relaxed);
+        c.count.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost to a producer that swapped in behind rec: adopt its link.
+      chk_point<P>(ctx, "qc.chase");
+      std::uint32_t streak = 0;
+      while ((nxt = rec.qnext.load(std::memory_order_acquire)) == nullptr) {
+        spin_step(ctx, streak);
+      }
+    }
+    if (prev != nullptr) {
+      prev->qnext.store(nxt, std::memory_order_release);
+    } else {
+      c.head = nxt;
+    }
+    rec.qnext.store(nullptr, std::memory_order_relaxed);
+    c.count.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side head re-insertion (reclaim of a fast-release
+  /// pre-selection): the record was the oldest candidate and goes back in
+  /// front.
+  void queue_push_front(Ctx& ctx, WaiterRecord<P>& rec) {
+    WaitQueueCell<P>& c = queue_cell_;
+    rec.qnext.store(nullptr, std::memory_order_relaxed);
+    if (c.head == nullptr) {
+      WaiterRecord<P>* expected = nullptr;
+      if (c.tail.load(std::memory_order_seq_cst) == nullptr &&
+          c.tail.compare_exchange_strong(expected, &rec,
+                                         std::memory_order_seq_cst)) {
+        // Empty cell: rec is first and last; producers link behind it.
+        c.head = &rec;
+        c.count.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // A producer won the empty slot. rec is the reclaimed oldest waiter
+      // and still goes first: adopt the producer's publication as the
+      // queue behind rec.
+      queue_adopt_first(ctx);
+    }
+    rec.qnext.store(c.head, std::memory_order_release);
+    c.head = &rec;
+    c.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Meta held, kRealConcurrency only. A thread that read kQueue as its
+  /// arrival target races configure_scheduler: its tail-swap can land
+  /// after the configuration moved on, leaving records in the cell with no
+  /// distributed-queue module current or pending to serve them. Mirror of
+  /// the orphan-absorption rule for the arrival stack: migrate such strays
+  /// into the module new arrivals register under (or the orphan queue).
+  /// Must be - and is - a no-op while either module is a distributed
+  /// queue; popping then would steal linked waiters out of FIFO order.
+  void drain_queue_strays(Ctx& ctx) {
+    if constexpr (kRealConcurrency<P>) {
+      if (queue_cell_.empty()) return;
+      if (scheduler_kind_.load(std::memory_order_relaxed) ==
+          SchedulerKind::kQueue) {
+        return;
+      }
+      if (has_pending_.load(std::memory_order_relaxed) &&
+          pending_kind_.load(std::memory_order_relaxed) ==
+              SchedulerKind::kQueue) {
+        return;
+      }
+      Scheduler<P>* target = has_pending_.load(std::memory_order_relaxed)
+                                 ? pending_scheduler_.get()
+                                 : scheduler_.get();
+      while (WaiterRecord<P>* w = queue_pop(ctx)) {
+        if (target != nullptr) {
+          w->registered_with = target;
+          target->enqueue(*w);
+        } else {
+          w->registered_with = nullptr;
+          orphans_.push_back(*w);
+        }
+      }
+    } else {
+      (void)ctx;
+    }
+  }
+
+  /// Meta held, fast releases waited out. Removes a timed-out record from
+  /// wherever it is registered: the scheduler module that actually enqueued
+  /// it (which may no longer be the current one after a reconfiguration),
+  /// the distributed queue cell, or the orphan queue.
+  void withdraw(Ctx& ctx, WaiterRecord<P>& rec) {
     if (rec.registered_with != nullptr) {
+      if constexpr (kRealConcurrency<P>) {
+        if (rec.registered_with->kind() == SchedulerKind::kQueue) {
+          // The record is linked in the lock-resident cell. The façade's
+          // non-waiting remove cannot wait out an in-flight producer link;
+          // the lock-side remover can, and must find the record.
+          rec.registered_with = nullptr;
+          const bool unlinked = queue_remove(ctx, rec);
+          assert(unlinked);
+          (void)unlinked;
+          return;
+        }
+      }
       rec.registered_with->remove(rec);
       rec.registered_with = nullptr;
-    } else {
-      orphans_.remove(rec);
+      return;
     }
+    if constexpr (kRealConcurrency<P>) {
+      // kQueue self-enqueued records carry no module registration; they
+      // live in the cell. Not found there means the orphan queue.
+      if (queue_remove(ctx, rec)) return;
+    }
+    orphans_.remove(rec);
+    (void)ctx;
   }
 
   [[nodiscard]] Placement grant_flag_placement(Ctx& ctx) const {
@@ -1492,50 +1803,49 @@ class ConfigurableLock {
     [[maybe_unused]] Ctx* ctx_ = nullptr;
   };
 
-  /// Scheduler kinds the single-store release understands: exclusive
-  /// single-grant built-ins. kNone frees the word (guarded path handles
-  /// sleeper wakeup), RW grants batches, custom modules make no validity
-  /// promises for the pre-selection cache.
-  [[nodiscard]] static constexpr bool fast_kind(SchedulerKind k) noexcept {
-    return k == SchedulerKind::kFcfs || k == SchedulerKind::kPriorityQueue ||
-           k == SchedulerKind::kPriorityThreshold ||
-           k == SchedulerKind::kHandoff;
-  }
-
-  /// Is the cached pre-selection still the right grantee?
+  /// Is the cached pre-selection still the right grantee under the
+  /// module's successor-selection policy (Scheduler::successor_policy)?
+  /// kNone modules never reach here - the fast release stands down before
+  /// consulting the cache.
   [[nodiscard]] bool next_grant_valid(const WaiterRecord<P>& cached,
-                                      SchedulerKind kind,
+                                      SuccessorPolicy policy,
                                       const Scheduler<P>& sched,
                                       ThreadId hint) const noexcept {
-    switch (kind) {
-      case SchedulerKind::kFcfs:
+    switch (policy) {
+      case SuccessorPolicy::kStableHead:
         return true;  // the FIFO head stays the head; arrivals go behind
-      case SchedulerKind::kHandoff:
+      case SuccessorPolicy::kHinted:
         return hint == kInvalidThread || cached.tid == hint;
-      case SchedulerKind::kPriorityQueue:
-      case SchedulerKind::kPriorityThreshold:
+      case SuccessorPolicy::kVersioned:
         // Any queue mutation (a new arrival may outrank the cache, a
         // threshold change may disqualify it) bumps the module version.
         return sched.version() ==
                next_grant_version_.load(std::memory_order_relaxed);
-      default:
-        return false;
+      case SuccessorPolicy::kNone:
+        break;
     }
+    return false;
   }
 
   /// Pre-selects the grantee for the NEXT release while this releaser
   /// still owns the module - the MCS-style cache the next fast release
   /// publishes with a single store. Version snapshot taken after the
   /// select, so any later mutation invalidates the cache.
-  void refill_next_grant(Scheduler<P>& sched) {
-    grant_scratch_.clear();
-    sched.select(grant_scratch_, kInvalidThread);
-    if (grant_scratch_.empty()) {
+  void refill_next_grant(Ctx& ctx, Scheduler<P>& sched) {
+    WaiterRecord<P>* nxt;
+    if (sched.kind() == SchedulerKind::kQueue) {
+      // Distributed queue: O(1) head pop from the cell, no GrantBatch scan.
+      nxt = queue_pop(ctx);
+    } else {
+      grant_scratch_.clear();
+      sched.select(grant_scratch_, kInvalidThread);
+      nxt = grant_scratch_.empty() ? nullptr : grant_scratch_.front();
+      grant_scratch_.clear();
+    }
+    if (nxt == nullptr) {
       next_grant_.store(nullptr, std::memory_order_relaxed);
       return;
     }
-    WaiterRecord<P>* nxt = grant_scratch_.front();
-    grant_scratch_.clear();
     nxt->registered_with = nullptr;
     next_grant_version_.store(sched.version(), std::memory_order_relaxed);
     next_grant_.store(nxt, std::memory_order_relaxed);
@@ -1544,18 +1854,24 @@ class ConfigurableLock {
   /// Returns the pre-selected successor, if any, to its queue. Caller must
   /// own the release module with no fast release in flight (a guarded
   /// release path, or a quiesced configuration operation holding meta).
-  void reclaim_next_grant() {
+  void reclaim_next_grant(Ctx& ctx) {
     if constexpr (kRealConcurrency<P>) {
       WaiterRecord<P>* cached =
           next_grant_.exchange(nullptr, std::memory_order_relaxed);
       if (cached == nullptr) return;
       if (scheduler_ != nullptr) {
         cached->registered_with = scheduler_.get();
-        scheduler_->enqueue_front(*cached);
+        if (scheduler_->kind() == SchedulerKind::kQueue) {
+          queue_push_front(ctx, *cached);
+        } else {
+          scheduler_->enqueue_front(*cached);
+        }
       } else {
         cached->registered_with = nullptr;
         orphans_.push_back(*cached);
       }
+    } else {
+      (void)ctx;
     }
   }
 
@@ -1587,18 +1903,36 @@ class ConfigurableLock {
     note(ctx, LockEvent::kFastReleaseBegin);
     chk_point<P>(ctx, "fr.mod");
     const SchedulerKind kind = scheduler_kind_.load(std::memory_order_relaxed);
-    if (!fast_kind(kind) || has_pending_.load(std::memory_order_relaxed) ||
-        !orphans_.empty()) {
+    Scheduler<P>* const sched_ptr = scheduler_.get();
+    // kNone-policy modules abort to the guarded path: kNone kind frees the
+    // word (guarded path handles sleeper wakeup), RW grants batches, custom
+    // modules make no validity promises for the pre-selection cache.
+    const SuccessorPolicy policy = sched_ptr == nullptr
+                                       ? SuccessorPolicy::kNone
+                                       : sched_ptr->successor_policy();
+    if (policy == SuccessorPolicy::kNone ||
+        has_pending_.load(std::memory_order_relaxed) || !orphans_.empty()) {
       return release_fast_abort(ctx, /*began=*/true);
     }
-    drain_arrivals(ctx);
-    Scheduler<P>& sched = *scheduler_;
+    const bool queued_kind = kind == SchedulerKind::kQueue;
+    if (queued_kind) {
+      // Distributed queue: the cell is the registration structure, and the
+      // arrival stack is only a reconfiguration straggler channel. A
+      // nonzero stack means a record was pushed against a prior
+      // configuration and not yet drained - the guarded path's job.
+      if (P::load(ctx, arrivals_) != 0) {
+        return release_fast_abort(ctx, /*began=*/true);
+      }
+    } else {
+      drain_arrivals(ctx);
+    }
+    Scheduler<P>& sched = *sched_ptr;
     chk_point<P>(ctx, "fr.cache");
     WaiterRecord<P>* succ = next_grant_.load(std::memory_order_relaxed);
-    if (succ != nullptr && !next_grant_valid(*succ, kind, sched, hint)) {
+    if (succ != nullptr && !next_grant_valid(*succ, policy, sched, hint)) {
       // Stale pre-selection (priority landscape or hint changed): put it
       // back at the head of its queue - it was the oldest candidate - and
-      // select afresh.
+      // select afresh. (Unreachable for kStableHead policies.)
       next_grant_.store(nullptr, std::memory_order_relaxed);
       succ->registered_with = &sched;
       sched.enqueue_front(*succ);
@@ -1606,23 +1940,32 @@ class ConfigurableLock {
     }
     if (succ == nullptr) {
       chk_point<P>(ctx, "fr.select");
-      grant_scratch_.clear();
-      sched.select(grant_scratch_, hint);
-      if (grant_scratch_.empty()) {
-        // Nobody eligible: publishing the word free (and waking barging
-        // sleepers) is the guarded path's job.
+      if (queued_kind) {
+        succ = queue_pop(ctx);
+        if (succ == nullptr) {
+          // Queue gone empty: publishing the word free is the guarded
+          // path's job.
+          return release_fast_abort(ctx, /*began=*/true);
+        }
+      } else {
         grant_scratch_.clear();
-        return release_fast_abort(ctx, /*began=*/true);
+        sched.select(grant_scratch_, hint);
+        if (grant_scratch_.empty()) {
+          // Nobody eligible: publishing the word free (and waking barging
+          // sleepers) is the guarded path's job.
+          grant_scratch_.clear();
+          return release_fast_abort(ctx, /*began=*/true);
+        }
+        succ = grant_scratch_.front();
+        grant_scratch_.clear();
       }
-      succ = grant_scratch_.front();
-      grant_scratch_.clear();
       succ->registered_with = nullptr;
     } else {
       next_grant_.store(nullptr, std::memory_order_relaxed);
     }
     // Pre-select the next grantee while we still own the module.
     chk_point<P>(ctx, "fr.refill");
-    refill_next_grant(sched);
+    refill_next_grant(ctx, sched);
     // Every module mutation is complete. Publish ownership: mirrors first,
     // the grant-flag store last - the one store the new owner's critical
     // section is ordered after. The epilogue below the store touches only
@@ -1699,9 +2042,12 @@ class ConfigurableLock {
     // The guarded path must see every waiter: fold a fast-release
     // pre-selection back into its queue before selecting.
     chk_point<P>(ctx, "gf.reclaim");
-    reclaim_next_grant();
+    reclaim_next_grant(ctx);
     for (;;) {
-      if constexpr (kRealConcurrency<P>) drain_arrivals(ctx);
+      if constexpr (kRealConcurrency<P>) {
+        drain_arrivals(ctx);
+        drain_queue_strays(ctx);
+      }
       if (scheduler_ != nullptr && scheduler_->empty() &&
           has_pending_.load(std::memory_order_relaxed)) {
         install_pending(ctx);
@@ -1714,7 +2060,20 @@ class ConfigurableLock {
         orphans_.remove(*orphan);
         grant_scratch_.push_back(orphan);
       } else if (scheduler_ != nullptr) {
-        scheduler_->select(grant_scratch_, hint);
+        if constexpr (kRealConcurrency<P>) {
+          if (scheduler_->kind() == SchedulerKind::kQueue) {
+            // Paced pop: waits out producer link windows, so a linked
+            // waiter is never skipped (the façade's non-waiting select
+            // would report nobody and this loop would publish free).
+            if (WaiterRecord<P>* w = queue_pop(ctx)) {
+              grant_scratch_.push_back(w);
+            }
+          } else {
+            scheduler_->select(grant_scratch_, hint);
+          }
+        } else {
+          scheduler_->select(grant_scratch_, hint);
+        }
       }
 
       if (grant_scratch_.empty()) {
@@ -1736,8 +2095,12 @@ class ConfigurableLock {
           // steals the word between our store and this RMW, the bit we set
           // here is what routes the thief's release through the full path
           // to drain that waiter - without it a single-CAS fast unlock
-          // would strand the record on the stack.
-          if (P::fetch_add(ctx, arrivals_, 0) != 0 &&
+          // would strand the record on the stack. The distributed queue
+          // cell is re-examined the same way; its load is ordered after
+          // the free-publish by the arrivals RMW's full fence, which is
+          // why it sits second in the short-circuit.
+          if ((P::fetch_add(ctx, arrivals_, 0) != 0 ||
+               queue_cell_.tail.load(std::memory_order_seq_cst) != nullptr) &&
               claimed(P::fetch_or(ctx, state_, kClaimMark))) {
             hint = kInvalidThread;
             continue;
@@ -1805,6 +2168,17 @@ class ConfigurableLock {
     }
   }
 
+  /// Builds a scheduler module for `kind`. The distributed queue module is
+  /// special: it is a façade over the lock-resident queue_cell_, because
+  /// arrivals tail-swap into the cell without ever dereferencing the
+  /// module pointer (which a racing reconfiguration may be retiring).
+  [[nodiscard]] std::unique_ptr<Scheduler<P>> make_module(SchedulerKind kind) {
+    if (kind == SchedulerKind::kQueue) {
+      return std::make_unique<DistributedQueueScheduler<P>>(&queue_cell_);
+    }
+    return make_scheduler<P>(kind);
+  }
+
   /// Common body of the configure_scheduler overloads: charges the 1R5W
   /// cost, stages the new module, and installs it immediately when no
   /// pre-registered waiters exist.
@@ -1829,7 +2203,7 @@ class ConfigurableLock {
     P::store(ctx, sched_rel_, code);                    // W3: release
     P::store(ctx, sched_flag_, 1);                      // W4: delay flag on
     meta_lock(ctx);
-    reclaim_next_grant();
+    reclaim_next_grant(ctx);
     if constexpr (kRealConcurrency<P>) {
       // In-flight lock-free arrivals registered before this configuration:
       // drain them now so they land in the outgoing module and are served
@@ -1841,14 +2215,22 @@ class ConfigurableLock {
       // Stacked reconfiguration: a previous pending module was never
       // installed. Migrate its registered waiters (to the incoming module,
       // or the orphan queue when switching to kNone) instead of destroying
-      // them with it.
-      while (WaiterRecord<P>* w = pending_scheduler_->pop_any()) {
-        if (fresh != nullptr) {
-          w->registered_with = fresh.get();
-          fresh->enqueue(*w);
-        } else {
-          w->registered_with = nullptr;
-          orphans_.push_back(*w);
+      // them with it. Exception: when both the replaced pending module and
+      // the incoming one are distributed queues, they drain the same
+      // lock-resident cell - the waiters are already where the incoming
+      // module serves them, and "migrating" would chase a cycle.
+      const bool both_queued =
+          pending_scheduler_->kind() == SchedulerKind::kQueue &&
+          kind == SchedulerKind::kQueue;
+      if (!both_queued) {
+        while (WaiterRecord<P>* w = pending_scheduler_->pop_any()) {
+          if (fresh != nullptr) {
+            w->registered_with = fresh.get();
+            fresh->enqueue(*w);
+          } else {
+            w->registered_with = nullptr;
+            orphans_.push_back(*w);
+          }
         }
       }
     }
@@ -1858,6 +2240,14 @@ class ConfigurableLock {
     }
     pending_kind_.store(kind, std::memory_order_relaxed);
     has_pending_.store(true, std::memory_order_relaxed);
+    if constexpr (kRealConcurrency<P>) {
+      // A replaced pending kQueue module can leave records in the cell
+      // that its pop_any could not see (a producer's link was still in
+      // flight). Now that the pending kinds are final, sweep such strays
+      // into whatever module new arrivals register under. No-op while a
+      // distributed queue is still current or incoming.
+      drain_queue_strays(ctx);
+    }
     // New registrations target the incoming module from here on: a new
     // configuration generation for the fairness oracles.
     note(ctx, LockEvent::kSchedulerInstalled);
@@ -2024,7 +2414,7 @@ class ConfigurableLock {
       on_granted(ctx, shared, t0);
       return true;
     }
-    withdraw(rec);
+    withdraw(ctx, rec);
     meta_unlock(ctx);
     waiter_count_.fetch_sub(1, std::memory_order_relaxed);
     monitor_.on_timeout();
@@ -2187,6 +2577,12 @@ class ConfigurableLock {
   std::atomic<SchedulerKind> scheduler_kind_;
   std::atomic<SchedulerKind> pending_kind_{SchedulerKind::kNone};
   std::atomic<bool> has_pending_{false};
+  /// Shared half of the distributed (kQueue) waiter queue. Lock-resident -
+  /// not module-resident - so lock-free arrivals can tail-swap into stable
+  /// storage no matter how many times configuration flips kQueue on and
+  /// off; every kQueue façade installed on this lock serves this one cell.
+  /// Host atomics, so the simulator's word placement is untouched.
+  WaitQueueCell<P> queue_cell_;
 
   // Holder state (guarded by meta on slow paths; fast path uses state_).
   std::uint32_t holders_ = 0;   ///< 0 free, 1 exclusive, n readers

@@ -95,12 +95,41 @@ class GrantBatch {
   std::size_t size_ = 0;
 };
 
+/// How a module's pre-selected successor — the lock's single-store
+/// fast-release cache — can go stale. The lock's release path keys every
+/// cache decision off this trait instead of enumerating scheduler kinds,
+/// so centralized and distributed modules share one release path.
+enum class SuccessorPolicy : std::uint8_t {
+  /// No single-successor pre-selection: grants are batches (reader-writer)
+  /// or the module makes no validity promises (custom). The single-store
+  /// fast release is disabled.
+  kNone,
+  /// The head of line cannot be displaced by later mutations: arrivals go
+  /// behind it and a withdrawal of the cached record itself is resolved by
+  /// the timeout path clearing the cache. The cache is always valid
+  /// (FCFS, distributed queue).
+  kStableHead,
+  /// Any structural mutation may displace the cached successor (a new
+  /// arrival may outrank it, a threshold change may disqualify it):
+  /// revalidate against the module's version counter.
+  kVersioned,
+  /// Valid for hintless releases, or when the cache already matches the
+  /// hint; a differently-hinted release must consult the module (handoff).
+  kHinted,
+};
+
 template <Platform P>
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   [[nodiscard]] virtual SchedulerKind kind() const noexcept = 0;
+
+  /// Staleness contract for the lock's grant pre-selection cache. kNone
+  /// (the default) opts the module out of the single-store fast release.
+  [[nodiscard]] virtual SuccessorPolicy successor_policy() const noexcept {
+    return SuccessorPolicy::kNone;
+  }
 
   /// Registration: logs a waiter that must wait.
   virtual void enqueue(WaiterRecord<P>& w) = 0;
@@ -218,6 +247,9 @@ class FcfsScheduler final : public QueuedScheduler<P> {
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kFcfs;
   }
+  [[nodiscard]] SuccessorPolicy successor_policy() const noexcept override {
+    return SuccessorPolicy::kStableHead;  // the FIFO head stays the head
+  }
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
     if (WaiterRecord<P>* w = this->queue_.front()) this->take(*w, out);
   }
@@ -236,6 +268,9 @@ class PriorityQueueScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kPriorityQueue;
+  }
+  [[nodiscard]] SuccessorPolicy successor_policy() const noexcept override {
+    return SuccessorPolicy::kVersioned;  // a new arrival may outrank the cache
   }
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
     if (WaiterRecord<P>* best = best_waiter()) this->take(*best, out);
@@ -266,6 +301,9 @@ class PriorityThresholdScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kPriorityThreshold;
+  }
+  [[nodiscard]] SuccessorPolicy successor_policy() const noexcept override {
+    return SuccessorPolicy::kVersioned;  // a threshold change may disqualify
   }
   void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
     if (WaiterRecord<P>* chosen = first_eligible()) this->take(*chosen, out);
@@ -309,6 +347,9 @@ class HandoffScheduler final : public QueuedScheduler<P> {
  public:
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kHandoff;
+  }
+  [[nodiscard]] SuccessorPolicy successor_policy() const noexcept override {
+    return SuccessorPolicy::kHinted;
   }
   void select(GrantBatch<P>& out, ThreadId hint) override {
     if (WaiterRecord<P>* chosen = choose(hint)) this->take(*chosen, out);
@@ -413,6 +454,216 @@ class ReaderWriterScheduler final : public QueuedScheduler<P> {
   RwPreference pref_;
 };
 
+/// Distributed FIFO (SchedulerKind::kQueue): the MCS-family queue-node
+/// scheduler. Registration is a lock-free tail-swap into a WaitQueueCell —
+/// each waiter's queue node is inline in its own WaiterRecord (qnext), so
+/// a waiting thread spins on its record-local grant flag and the only
+/// shared-word traffic per acquisition is the one tail exchange; release
+/// hands off with a single store to the successor's node.
+///
+/// This module is a *façade* over the cell: on kRealConcurrency platforms
+/// the lock's arrival path performs the producer protocol itself (without
+/// dereferencing the module — the cell outlives reconfigurations inside
+/// the lock), and the lock's release path consumes the cell with
+/// platform-paced spins where a producer's link store may be in flight.
+/// The Scheduler-interface consumers here are the *non-waiting* variants:
+/// select()/pop_any() return nobody when they encounter an in-flight link
+/// window (the lock retries or sweeps strays), which keeps every method
+/// safe to call under the meta guard on any platform — and exact on the
+/// simulator, where registration is meta-serialized and no window exists.
+///
+/// By default the module owns its cell (standalone/simulator use); the
+/// lock constructs it over the lock-resident cell instead so the cell's
+/// identity survives configure_scheduler round trips.
+template <Platform P>
+class DistributedQueueScheduler final : public Scheduler<P> {
+ public:
+  using Rec = WaiterRecord<P>;
+  using Cell = WaitQueueCell<P>;
+
+  DistributedQueueScheduler() : cell_(&owned_) {}
+  explicit DistributedQueueScheduler(Cell* cell) : cell_(cell) {}
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kQueue;
+  }
+  [[nodiscard]] SuccessorPolicy successor_policy() const noexcept override {
+    return SuccessorPolicy::kStableHead;  // FIFO: the queue head stays put
+  }
+
+  /// Producer protocol: tail-swap, then publish the link (predecessor's
+  /// qnext, or the cell's first-arrival slot when the queue was empty).
+  /// Safe against concurrent producers; never waits.
+  void enqueue(Rec& w) override {
+    w.qnext.store(nullptr, std::memory_order_relaxed);
+    Rec* prev = cell_->tail.exchange(&w, std::memory_order_seq_cst);
+    if (prev != nullptr) {
+      prev->qnext.store(&w, std::memory_order_release);
+    } else {
+      cell_->first.store(&w, std::memory_order_release);
+    }
+    cell_->count.fetch_add(1, std::memory_order_relaxed);
+    this->bump_version();
+  }
+
+  /// Consumer-side head insertion (fast-release cache reclaim). Requires
+  /// the consumer role; races only the producer protocol.
+  void enqueue_front(Rec& w) override {
+    Cell& c = *cell_;
+    w.qnext.store(nullptr, std::memory_order_relaxed);
+    if (c.head == nullptr) {
+      Rec* expected = nullptr;
+      if (c.tail.compare_exchange_strong(expected, &w,
+                                         std::memory_order_seq_cst)) {
+        // Empty cell: we are the new generation's first and last. Later
+        // producers see a non-null tail and link behind us.
+        c.head = &w;
+        c.count.fetch_add(1, std::memory_order_relaxed);
+        this->bump_version();
+        return;
+      }
+      if (!normalize()) {
+        // A producer holds the publication window open. Unreachable where
+        // this is called (meta-serialized platforms / quiesced consumers);
+        // fall back to waiting for the publication.
+        spin_normalize();
+      }
+    }
+    w.qnext.store(c.head, std::memory_order_release);
+    c.head = &w;
+    c.count.fetch_add(1, std::memory_order_relaxed);
+    this->bump_version();
+  }
+
+  /// Consumer-side withdrawal. Exact on meta-serialized platforms; on
+  /// kRealConcurrency platforms the lock routes withdrawals through its
+  /// own paced remover instead (an in-flight producer link can force a
+  /// wait this non-waiting interface cannot perform).
+  void remove(Rec& w) override {
+    Cell& c = *cell_;
+    if (c.head == nullptr && !normalize()) return;
+    Rec* prev = nullptr;
+    Rec* cur = c.head;
+    while (cur != nullptr && cur != &w) {
+      Rec* nxt = cur->qnext.load(std::memory_order_acquire);
+      if (nxt == nullptr &&
+          c.tail.load(std::memory_order_seq_cst) != cur) {
+        spin_link(*cur, nxt);
+      }
+      prev = cur;
+      cur = nxt;
+    }
+    if (cur == nullptr) return;
+    unlink(prev, w);
+    this->bump_version();
+  }
+
+  void select(GrantBatch<P>& out, ThreadId /*hint*/) override {
+    if (Rec* w = try_pop()) out.push_back(w);
+  }
+
+  [[nodiscard]] const Rec* peek_next(
+      ThreadId /*hint*/) const noexcept override {
+    if (cell_->head != nullptr) return cell_->head;
+    return cell_->first.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept override {
+    return cell_->empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return cell_->count.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Rec* pop_any() noexcept override { return try_pop(); }
+
+  [[nodiscard]] Cell& cell() noexcept { return *cell_; }
+
+ private:
+  /// Pops the queue head, or returns nullptr when the queue is empty OR a
+  /// producer's link publication is still in flight (callers retry or let
+  /// the lock's paced consumer finish the job).
+  [[nodiscard]] Rec* try_pop() noexcept {
+    Cell& c = *cell_;
+    if (c.head == nullptr && !normalize()) return nullptr;
+    Rec* h = c.head;
+    Rec* nxt = h->qnext.load(std::memory_order_acquire);
+    if (nxt == nullptr) {
+      Rec* expected = h;
+      if (c.tail.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_seq_cst)) {
+        c.head = nullptr;
+      } else {
+        // A successor is mid-link behind h: without waiting for the link
+        // we cannot pop h and keep its successor reachable.
+        nxt = h->qnext.load(std::memory_order_acquire);
+        if (nxt == nullptr) return nullptr;
+        c.head = nxt;
+      }
+    } else {
+      c.head = nxt;
+    }
+    h->qnext.store(nullptr, std::memory_order_relaxed);
+    c.count.fetch_sub(1, std::memory_order_relaxed);
+    this->bump_version();
+    return h;
+  }
+
+  /// Adopts a published first arrival into the consumer cursor. Returns
+  /// false when the queue is empty or the publication is still in flight.
+  [[nodiscard]] bool normalize() noexcept {
+    Cell& c = *cell_;
+    if (c.tail.load(std::memory_order_seq_cst) == nullptr) return false;
+    Rec* f = c.first.load(std::memory_order_acquire);
+    if (f == nullptr) return false;
+    c.head = f;
+    c.first.store(nullptr, std::memory_order_relaxed);
+    return true;
+  }
+
+  void spin_normalize() noexcept {
+    while (!normalize()) {
+    }
+  }
+
+  static void spin_link(Rec& r, Rec*& out) noexcept {
+    while ((out = r.qnext.load(std::memory_order_acquire)) == nullptr) {
+    }
+  }
+
+  /// Unlinks `w` (== prev->qnext, or the head when prev is null), waiting
+  /// out a mid-link successor if the tail CAS loses the race.
+  void unlink(Rec* prev, Rec& w) noexcept {
+    Cell& c = *cell_;
+    Rec* nxt = w.qnext.load(std::memory_order_acquire);
+    if (nxt == nullptr) {
+      // Possibly the tail. Pre-clear the predecessor's link *before* the
+      // tail swing: once the CAS lands, a new producer may store through
+      // prev->qnext, and that store must not be overwritten.
+      if (prev != nullptr) prev->qnext.store(nullptr, std::memory_order_release);
+      Rec* expected = &w;
+      if (c.tail.compare_exchange_strong(expected, prev,
+                                         std::memory_order_seq_cst)) {
+        if (prev == nullptr) c.head = nullptr;
+        w.qnext.store(nullptr, std::memory_order_relaxed);
+        c.count.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+      spin_link(w, nxt);  // a successor linked behind w: route it to prev
+    }
+    if (prev != nullptr) {
+      prev->qnext.store(nxt, std::memory_order_release);
+    } else {
+      c.head = nxt;
+    }
+    w.qnext.store(nullptr, std::memory_order_relaxed);
+    c.count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Cell owned_;
+  Cell* cell_;
+};
+
 /// Factory for dynamic scheduler reconfiguration.
 template <Platform P>
 std::unique_ptr<Scheduler<P>> make_scheduler(SchedulerKind kind) {
@@ -427,6 +678,8 @@ std::unique_ptr<Scheduler<P>> make_scheduler(SchedulerKind kind) {
       return std::make_unique<HandoffScheduler<P>>();
     case SchedulerKind::kReaderWriter:
       return std::make_unique<ReaderWriterScheduler<P>>();
+    case SchedulerKind::kQueue:
+      return std::make_unique<DistributedQueueScheduler<P>>();
     case SchedulerKind::kNone:
       break;
     case SchedulerKind::kCustom:

@@ -60,10 +60,57 @@ struct WaiterRecord {
   /// the producer's post-exchange store lands, 0 at the end of the chain.
   std::atomic<std::uintptr_t> arrival_next{0};
 
+  /// Inline queue node for the distributed (SchedulerKind::kQueue) FIFO:
+  /// the MCS-style successor link, written once by the *next* arrival after
+  /// its tail-swap. nullptr means "no successor visible yet" — whether the
+  /// record is last is decided by comparing against the cell's tail, so no
+  /// pending sentinel is needed.
+  std::atomic<WaiterRecord*> qnext{nullptr};
+
   // Intrusive doubly-linked queue node, guarded by the lock's meta word.
   WaiterRecord* prev = nullptr;
   WaiterRecord* next = nullptr;
   bool queued = false;
+};
+
+/// The shared half of the distributed queue (SchedulerKind::kQueue): one
+/// tail word that arrivals swap themselves into and one publication slot
+/// for the first-in-line record. Everything else about the queue lives in
+/// the waiters' own records (WaiterRecord::qnext), which is what makes the
+/// scheduler "distributed" in the paper's Fig. 9 sense — a waiting thread
+/// spins only on its record-local grant flag, never on these words.
+///
+/// The cell deliberately uses host std::atomics, not platform Words: queue
+/// maintenance is consumer-side bookkeeping serialized by the lock's grant
+/// protocol (meta guard or quiescence epoch), and keeping it off the
+/// platform word set leaves the simulator's timing/placement model — and
+/// its calibrated tables — untouched. seq_cst on tail mirrors the arrival
+/// stack's Dekker: the producer's tail-swap and the releaser's emptiness
+/// re-check must not both miss each other.
+///
+/// Concurrency contract: any thread may enqueue (exchange tail, then link
+/// via the predecessor's qnext or `first` when the queue was empty); at
+/// most ONE thread at a time consumes (pop/remove/walk), serialized
+/// externally. `head` is therefore a plain pointer owned by the consumer
+/// side; visibility between successive consumers rides the same
+/// happens-before edges that already order the lock's release protocol.
+template <Platform P>
+struct WaitQueueCell {
+  using Rec = WaiterRecord<P>;
+
+  std::atomic<Rec*> tail{nullptr};   ///< last arrival; nullptr = empty
+  std::atomic<Rec*> first{nullptr};  ///< first arrival's publication slot
+  Rec* head = nullptr;               ///< consumer-owned dequeue cursor
+  /// Advisory population count (producers increment after linking, so it
+  /// briefly lags the queue itself). Exact whenever the queue is quiet.
+  std::atomic<std::size_t> count{0};
+
+  /// Consumer-side emptiness. Exact for consumers: a record is reachable
+  /// from head or (transitively) from the published tail, and the last
+  /// consumer pop swings tail back to nullptr before clearing head.
+  [[nodiscard]] bool empty() const noexcept {
+    return head == nullptr && tail.load(std::memory_order_seq_cst) == nullptr;
+  }
 };
 
 /// Intrusive FIFO of waiter records. All operations require the owning

@@ -58,6 +58,18 @@ TEST(RelockCheckDeep, Swap2Bound3) {
   expect_exhaustive(scenarios::swap2(), 3);
 }
 
+TEST(RelockCheckDeep, QueueArrival2Bound3) {
+  expect_exhaustive(scenarios::queue_arrival2(), 3);
+}
+
+TEST(RelockCheckDeep, QueueTimeout2Bound3) {
+  expect_exhaustive(scenarios::queue_timeout2(), 3);
+}
+
+TEST(RelockCheckDeep, QueueConfig2Bound3) {
+  expect_exhaustive(scenarios::queue_config2(), 3);
+}
+
 TEST(RelockCheckDeep, Fanout3Bound3) {
   expect_exhaustive(scenarios::fanout3(), 3);
 }

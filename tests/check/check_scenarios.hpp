@@ -233,6 +233,89 @@ inline Scenario fissile_config2() {
   return s;
 }
 
+/// Distributed-queue handoff racing the holder's release: the contender's
+/// MCS enqueue (qa.swap tail-exchange, qa.first publication, arr.mark)
+/// interleaves with the holder's fissile held->free CAS and, when that
+/// fails, with the queued fast release's cell pop (qc.first adoption, the
+/// tail-retraction CAS). Every ordering must either grant the contender
+/// by a single store to its own node or let it claim the free word; the
+/// lost-grant strand (fast CAS succeeding with a linked-but-unmarked
+/// node left in the cell) is what the liveness oracle would flag.
+inline Scenario queue_arrival2() {
+  Scenario s;
+  s.name = "queue_arrival2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kQueue);
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) { lock_cycle(lk, ctx); });
+  };
+  return s;
+}
+
+/// A timed distributed-queue acquisition races the holder's release:
+/// MCS-with-timeout node self-removal (tail retraction against an
+/// in-flight producer, cache-hit resolution at to.cache) against a grant
+/// that may land before, during, or after the deadline.
+inline Scenario queue_timeout2() {
+  Scenario s;
+  s.name = "queue_timeout2";
+  s.fairness = FairnessMode::kFcfs;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kQueue, LockAttributes::blocking());
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      if (lk->lock_for(ctx, 300)) {
+        ctx.cs_enter();
+        ctx.cs_exit();
+        lk->unlock(ctx);
+      }
+    });
+  };
+  return s;
+}
+
+/// Reconfiguration to and from the distributed queue racing contended
+/// cycles: a waiter linked in the cell when the configuration moves to
+/// kFcfs must be served by the queue façade under the configuration-delay
+/// rule (or swept by the stray drain if its tail-swap raced the install),
+/// and the return to kQueue must serve FCFS leftovers before cell
+/// arrivals.
+inline Scenario queue_config2() {
+  Scenario s;
+  s.name = "queue_config2";
+  s.fairness = FairnessMode::kNone;  // two Gammas: only the generation rule
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kQueue);
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+      lock_cycle(lk, ctx);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->configure_scheduler(ctx, SchedulerKind::kFcfs);
+      lock_cycle(lk, ctx);
+      lk->configure_scheduler(ctx, SchedulerKind::kQueue);
+    });
+  };
+  return s;
+}
+
 #ifdef RELOCK_TRACE
 /// Fissile fast acquire racing a trace enable: the fast path reads the
 /// trace gate once per operation, so the toggle may land before or after

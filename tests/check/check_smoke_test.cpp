@@ -64,6 +64,23 @@ TEST(RelockCheckSmoke, FissileConfig2Exhaustive) {
   expect_exhaustive(scenarios::fissile_config2(), 2);
 }
 
+TEST(RelockCheckSmoke, QueueArrival2Exhaustive) {
+  // qa.swap/qa.first vs fu.cas vs qc.first: the MCS enqueue against the
+  // fissile release and the queued fast release's cell pop.
+  expect_exhaustive(scenarios::queue_arrival2(), 2);
+}
+
+TEST(RelockCheckSmoke, QueueTimeout2Exhaustive) {
+  // MCS-with-timeout node self-removal racing the holder's release.
+  expect_exhaustive(scenarios::queue_timeout2(), 2);
+}
+
+TEST(RelockCheckSmoke, QueueConfig2Exhaustive) {
+  // kQueue -> kFcfs -> kQueue reconfiguration with linked waiters:
+  // configuration delay, stray sweep, and FIFO across the generations.
+  expect_exhaustive(scenarios::queue_config2(), 2);
+}
+
 TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
   // Snapshot-coherent monitor reset racing a lock/unlock stream: the
   // scenario body asserts that no explored schedule sees a counter window

@@ -43,7 +43,7 @@ TEST(FastPath, EligibilityIsFixedByConfiguration) {
   for (SchedulerKind k :
        {SchedulerKind::kNone, SchedulerKind::kFcfs,
         SchedulerKind::kPriorityQueue, SchedulerKind::kHandoff,
-        SchedulerKind::kPriorityThreshold}) {
+        SchedulerKind::kPriorityThreshold, SchedulerKind::kQueue}) {
     Lock lk(dom, opts(k));
     EXPECT_TRUE(lk.fast_path_eligible()) << to_string(k);
   }
