@@ -71,6 +71,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -125,6 +126,19 @@ class ConfigurableLock {
     std::atomic<Nanos> sleep{0};
     std::atomic<Nanos> timeout{0};
     std::atomic<bool> valid{false};
+  };
+
+  /// Slot storage published to lock-free readers: the size rides along so a
+  /// reader bounds-checks against the array it actually holds, which lets
+  /// the array be sized by the highest overridden ThreadId (grown on
+  /// demand) instead of the full domain capacity. Sizing by capacity made
+  /// every lock's first override cost O(domain capacity) - a real
+  /// multiplier once thousands of table locks share one big domain.
+  struct AttrSlotArray {
+    explicit AttrSlotArray(std::uint32_t n)
+        : size(n), slots(std::make_unique<AttrSlot[]>(n)) {}
+    const std::uint32_t size;
+    std::unique_ptr<AttrSlot[]> slots;
   };
 
  public:
@@ -482,18 +496,36 @@ class ConfigurableLock {
     meta_lock(ctx);
     note(ctx, LockEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
-      // Flat slot array indexed by ThreadId, published once via an atomic
+      // Flat slot array indexed by ThreadId, published via an atomic
       // pointer. Registering threads read it without the meta guard (the
       // seed's map lookup forced every arrival through meta); writers here
-      // still serialize on meta and version each slot seqlock-style.
-      AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
-      if (slots == nullptr) {
-        attr_slot_storage_ =
-            std::make_unique<AttrSlot[]>(domain_.capacity());
-        slots = attr_slot_storage_.get();
-        attr_slots_.store(slots, std::memory_order_release);
+      // still serialize on meta and version each slot seqlock-style. The
+      // array covers [0, size) and is regrown (power of two, floor 8) when
+      // an override lands beyond it; superseded arrays are retired, not
+      // freed, because a lock-free reader may still hold one - total
+      // retained memory stays under 2x the final array.
+      AttrSlotArray* arr = attr_slots_.load(std::memory_order_relaxed);
+      if (arr == nullptr || tid >= arr->size) {
+        const std::uint32_t want = std::max<std::uint32_t>(
+            8u, std::bit_ceil(static_cast<std::uint32_t>(tid) + 1u));
+        auto grown = std::make_unique<AttrSlotArray>(
+            arr == nullptr ? want : std::max(want, arr->size));
+        if (arr != nullptr) {
+          for (std::uint32_t i = 0; i < arr->size; ++i) {
+            const AttrSlot& o = arr->slots[i];
+            const LockAttributes a{o.spin.load(std::memory_order_relaxed),
+                                   o.delay.load(std::memory_order_relaxed),
+                                   o.sleep.load(std::memory_order_relaxed),
+                                   o.timeout.load(std::memory_order_relaxed)};
+            slot_write(grown->slots[i], a,
+                       o.valid.load(std::memory_order_relaxed));
+          }
+        }
+        attr_slots_.store(grown.get(), std::memory_order_release);
+        attr_slot_storage_.push_back(std::move(grown));
+        arr = attr_slots_.load(std::memory_order_relaxed);
       }
-      AttrSlot& s = slots[tid];
+      AttrSlot& s = arr->slots[tid];
       if (!s.valid.load(std::memory_order_relaxed)) ++attr_override_count_;
       slot_write(s, attrs, /*valid=*/true);
       has_thread_attrs_.store(attr_override_count_ != 0,
@@ -510,11 +542,11 @@ class ConfigurableLock {
     meta_lock(ctx);
     note(ctx, LockEvent::kConfigMutateBegin);
     if constexpr (kRealConcurrency<P>) {
-      AttrSlot* slots = attr_slots_.load(std::memory_order_relaxed);
-      if (slots != nullptr && tid < domain_.capacity() &&
-          slots[tid].valid.load(std::memory_order_relaxed)) {
+      AttrSlotArray* arr = attr_slots_.load(std::memory_order_relaxed);
+      if (arr != nullptr && tid < arr->size &&
+          arr->slots[tid].valid.load(std::memory_order_relaxed)) {
         --attr_override_count_;
-        slot_write(slots[tid], LockAttributes{}, /*valid=*/false);
+        slot_write(arr->slots[tid], LockAttributes{}, /*valid=*/false);
       }
       has_thread_attrs_.store(attr_override_count_ != 0,
                               std::memory_order_relaxed);
@@ -715,9 +747,11 @@ class ConfigurableLock {
       return load_attrs();
     }
     if constexpr (kRealConcurrency<P>) {
-      AttrSlot* slots = attr_slots_.load(std::memory_order_acquire);
-      if (slots == nullptr || tid >= domain_.capacity()) return load_attrs();
-      AttrSlot& s = slots[tid];
+      AttrSlotArray* arr = attr_slots_.load(std::memory_order_acquire);
+      // A thread past the array's end has no override by construction:
+      // setting one grows the array to cover its ThreadId first.
+      if (arr == nullptr || tid >= arr->size) return load_attrs();
+      AttrSlot& s = arr->slots[tid];
       for (;;) {
         const std::uint32_t v1 = s.seq.load(std::memory_order_acquire);
         if ((v1 & 1u) != 0) continue;  // write in flight
@@ -2610,9 +2644,11 @@ class ConfigurableLock {
   // by meta. kRealConcurrency platforms: lazily allocated flat slot array
   // indexed by ThreadId, written under meta, read lock-free.
   std::unordered_map<ThreadId, LockAttributes> thread_attrs_;
-  std::unique_ptr<AttrSlot[]> attr_slot_storage_;  ///< owner (meta)
-  std::atomic<AttrSlot*> attr_slots_{nullptr};     ///< lock-free view
-  std::uint32_t attr_override_count_ = 0;          ///< valid slots (meta)
+  /// Current + retired slot arrays (meta). Retired arrays stay alive for
+  /// the lock's lifetime: a reader may still hold their pointer.
+  std::vector<std::unique_ptr<AttrSlotArray>> attr_slot_storage_;
+  std::atomic<AttrSlotArray*> attr_slots_{nullptr};  ///< lock-free view
+  std::uint32_t attr_override_count_ = 0;            ///< valid slots (meta)
   std::atomic<bool> has_thread_attrs_{false};
 
   // Active-lock machinery.

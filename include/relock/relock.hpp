@@ -7,6 +7,7 @@
 //   relock/core/configurable_lock.hpp- the configurable lock object
 //   relock/locks/*.hpp               - baseline lock algorithms
 //   relock/sim/machine.hpp           - the Butterfly NUMA simulator
+//   relock/table/lock_table.hpp      - striped record-id -> lock table
 //   relock/vthreads/runtime.hpp      - user-level M:N threads
 //   relock/workload/*.hpp            - workload generators
 //   relock/adapt/*.hpp               - adaptation policies
@@ -40,6 +41,8 @@
 #include "relock/platform/types.hpp"
 #include "relock/sim/machine.hpp"
 #include "relock/sync/barrier.hpp"
+#include "relock/table/lock_table.hpp"
+#include "relock/table/twopl.hpp"
 #include "relock/sync/condition_variable.hpp"
 #include "relock/sync/semaphore.hpp"
 #include "relock/vthreads/platform.hpp"
@@ -47,3 +50,4 @@
 #include "relock/workload/client_server.hpp"
 #include "relock/workload/cs_workload.hpp"
 #include "relock/workload/samplers.hpp"
+#include "relock/workload/zipf.hpp"

@@ -1,0 +1,73 @@
+// Zipfian key sampler for skewed workload generation (Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases", as popularized
+// by YCSB). theta in [0, 1): 0 degenerates to uniform, ~0.99 is the
+// classic YCSB hotspot. The scrambled variant decorrelates rank from key
+// so the hot set scatters across the table instead of clustering at the
+// low keys.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "relock/platform/rng.hpp"
+
+namespace relock::workload {
+
+class ZipfianSampler {
+ public:
+  ZipfianSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n > 0);
+    assert(theta < 1.0);
+    if (theta_ <= 0.0) return;  // uniform fallback
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Rank sample in [0, n): rank 0 is the hottest key.
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const {
+    if (theta_ <= 0.0) return rng.next() % n_;
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  /// Rank sample with the hot set scattered over the key space.
+  [[nodiscard]] std::uint64_t sample_scrambled(Xoshiro256& rng) const {
+    return mix(sample(rng)) % n_;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace relock::workload

@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "check_scenarios.hpp"
+#include "check_table_scenarios.hpp"
 #include "relock/check/strategies.hpp"
 
 namespace {
@@ -72,6 +73,14 @@ TEST(RelockCheckDeep, QueueConfig2Bound3) {
 
 TEST(RelockCheckDeep, Fanout3Bound3) {
   expect_exhaustive(scenarios::fanout3(), 3);
+}
+
+TEST(RelockCheckDeep, TableInflate2Bound3) {
+  expect_exhaustive(scenarios::table_inflate2(), 3);
+}
+
+TEST(RelockCheckDeep, TableDeflate2Bound3) {
+  expect_exhaustive(scenarios::table_deflate2(), 3);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// LockTable scenarios for relock-check: the inline-word <-> full-lock
+// transitions are this subsystem's novel race surface, and every table
+// word is an engine-instrumented chk::Word, so first-contention inflation
+// (try_install's pre-pinned CAS racing the inline owner's release) and
+// last-release deflation (the kSlotDeflating window racing a late pinner)
+// are explored exhaustively like any lock-internal protocol.
+//
+// Kept separate from check_scenarios.hpp so the seeded-bug regression TUs
+// (which recompile the lock model with a historical bug re-introduced)
+// keep compiling exactly the library they always did.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "relock/check/engine.hpp"
+#include "relock/check/platform.hpp"
+#include "relock/table/lock_table.hpp"
+
+namespace relock::chk::scenarios {
+
+using Table = relock::table::LockTable<CheckPlatform>;
+
+inline std::shared_ptr<Table> make_table(ScenarioFrame& f) {
+  Table::Options o;
+  o.capacity = 8;    // one partition, tiny probe space
+  o.partitions = 1;
+  o.lock_options.scheduler = SchedulerKind::kFcfs;
+  o.lock_options.attributes = LockAttributes::spin();
+  return std::make_shared<Table>(f.domain(), o);
+}
+
+/// End-state oracle: with every transaction finished and no sticky
+/// configuration, the slot must have deflated all the way back to a free
+/// inline word and returned its Entry to the pool.
+inline void expect_quiescent_free(ScenarioFrame& f,
+                                  const std::shared_ptr<Table>& t,
+                                  Table::Key k) {
+  Engine* eng = &f.engine();
+  f.on_finish([t, k, eng] {
+    const std::uint64_t w = t->quiescent_word(k);
+    if (w != relock::table::kSlotFree) {
+      eng->fail_host((w & relock::table::kSlotInflated) != 0
+                         ? ((w & relock::table::kSlotHeld) != 0
+                                ? "table: slot wedged deflating at quiescence"
+                                : "table: slot still inflated at quiescence")
+                         : "table: slot still inline-held at quiescence");
+    }
+    if (t->inflated_count() != 0) {
+      eng->fail_host("table: entry still attached at quiescence");
+    }
+  });
+}
+
+/// Two threads race one key from a cold slot: the loser of the inline
+/// free->held CAS performs first-contention inflation (try_install
+/// preserving the owner's kSlotHeld bit) while the winner's release may
+/// take the inline CAS-to-free, the fetch_and bit-clear (if inflation won)
+/// or the full deflation path - and the second cycle replays acquisition
+/// against whatever state the first left. The holder yields between its
+/// critical section and the release so the contender's install interleaves
+/// with the release without spending DFS preemptions.
+inline Scenario table_inflate2() {
+  Scenario s;
+  s.name = "table_inflate2";
+  s.fairness = FairnessMode::kNone;
+  s.build = [](ScenarioFrame& f) {
+    auto t = make_table(f);
+    const Table::Key k = 5;
+    f.add_thread(1, [t, k](Context& ctx) {
+      t->lock(ctx, k);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      t->unlock(ctx, k);
+    });
+    f.add_thread(1, [t, k](Context& ctx) {
+      t->lock(ctx, k);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      t->unlock(ctx, k);
+    });
+    expect_quiescent_free(f, t, k);
+  };
+  return s;
+}
+
+/// Both threads start on an already-inflated slot (warmed via the
+/// non-sticky inflate() API) and run full cycles: every release is a
+/// deflation candidate, so the kSlotDeflating window races the other
+/// thread's pin (increment-then-validate vs CAS-then-recheck), its
+/// re-inflation of the emptied slot, and its own deflation attempt.
+inline Scenario table_deflate2() {
+  Scenario s;
+  s.name = "table_deflate2";
+  s.fairness = FairnessMode::kNone;
+  s.build = [](ScenarioFrame& f) {
+    auto t = make_table(f);
+    const Table::Key k = 5;
+    for (int i = 0; i < 2; ++i) {
+      f.add_thread(1, [t, k](Context& ctx) {
+        t->inflate(ctx, k);
+        t->lock(ctx, k);
+        ctx.cs_enter();
+        ctx.cs_exit();
+        t->unlock(ctx, k);
+      });
+    }
+    expect_quiescent_free(f, t, k);
+  };
+  return s;
+}
+
+}  // namespace relock::chk::scenarios

@@ -1,0 +1,49 @@
+// LockTable inflate/deflate scenarios under exhaustive DFS(2). Unlike the
+// main relock-check suites this binary also builds in sanitized
+// configurations: the table scenarios are small enough that TSan's
+// slowdown stays affordable, and running them there exercises the
+// *native-compiled* atomics of the shared engine runner alongside the
+// model exploration (the CI TSan leg runs exactly this binary).
+//
+// Deep DFS(3) passes ride the `stress` label via check_deep_test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "check_table_scenarios.hpp"
+#include "relock/check/strategies.hpp"
+
+namespace {
+
+using namespace relock::chk;
+
+void expect_exhaustive(const Scenario& s, std::uint32_t bound) {
+  Engine eng;
+  DfsStrategy st(bound, /*max_schedules=*/0);
+  const ExploreResult r = eng.explore(s, st);
+  EXPECT_FALSE(r.failed) << r.summary();
+  EXPECT_TRUE(r.complete) << r.summary();
+  EXPECT_TRUE(st.exhausted()) << "bounded space not exhausted: "
+                              << r.summary();
+  std::printf("[relock-check] %-16s %-12s %8llu schedules %10llu points\n",
+              s.name.c_str(), st.describe().c_str(),
+              static_cast<unsigned long long>(r.schedules),
+              static_cast<unsigned long long>(r.steps));
+}
+
+TEST(RelockCheckTable, TableInflate2Exhaustive) {
+  // First-contention inflation: try_install's pre-pinned pointer CAS
+  // (preserving the inline owner's kSlotHeld bit) against the owner's
+  // release, on every interleaving; the on_finish oracle insists the slot
+  // deflated back to a free inline word.
+  expect_exhaustive(scenarios::table_inflate2(), 2);
+}
+
+TEST(RelockCheckTable, TableDeflate2Exhaustive) {
+  // Last-release deflation: the kSlotDeflating window (CAS-then-recheck)
+  // against a late pinner's increment-then-validate, re-inflation of the
+  // emptied slot, and dueling deflation attempts.
+  expect_exhaustive(scenarios::table_deflate2(), 2);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// NativeDomain registration and per-lock memory audit for the lock-table
+// use-case: N locks sharing one domain must not multiply per-thread cost,
+// and a single lock's footprint must not scale with the domain's thread
+// capacity. Global operator new/delete are replaced with counting
+// versions (count + bytes), which is why this suite lives in its own
+// binary.
+//
+// The concrete regression pinned here: per-thread attribute overrides
+// used to allocate an AttrSlot array sized by Domain::capacity() on every
+// lock's FIRST override - O(locks x capacity) bytes across a table that
+// configures thread attributes on a big shared domain. The array is now
+// sized by the highest overridden ThreadId (power-of-two growth, floor 8).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/platform/native.hpp"
+#include "relock/table/lock_table.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace relock {
+namespace {
+
+using native::NativePlatform;
+using Lock = ConfigurableLock<NativePlatform>;
+using Table = table::LockTable<NativePlatform>;
+
+std::uint64_t bytes_now() {
+  return g_alloc_bytes.load(std::memory_order_acquire);
+}
+std::uint64_t allocs_now() {
+  return g_allocations.load(std::memory_order_acquire);
+}
+
+Lock::Options fcfs_opts() {
+  Lock::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.attributes = LockAttributes::spin();
+  return o;
+}
+
+// Registration is O(threads), not O(locks x threads): with the domain
+// constructed (its slot table is sized up front), registering and
+// unregistering a thread allocates NOTHING - however many locks exist.
+TEST(NativeDomainAudit, ThreadRegistrationIsAllocationFree) {
+  native::Domain dom(256);
+  std::vector<std::unique_ptr<Lock>> locks;
+  for (int i = 0; i < 64; ++i) {
+    locks.push_back(std::make_unique<Lock>(dom, fcfs_opts()));
+  }
+  const std::uint64_t before = allocs_now();
+  for (int round = 0; round < 8; ++round) {
+    native::Context ctx(dom);
+    EXPECT_EQ(ctx.domain().capacity(), 256u);
+  }
+  EXPECT_EQ(allocs_now() - before, 0u)
+      << "Context register/unregister must not allocate";
+}
+
+// The domain's own cost is paid once, by the domain: per-lock
+// construction bytes must be identical whether the shared domain admits
+// 16 threads or 4096.
+TEST(NativeDomainAudit, LockCostIsIndependentOfDomainCapacity) {
+  native::Domain small(16);
+  native::Domain big(4096);
+  const std::uint64_t b0 = bytes_now();
+  { Lock lk(small, fcfs_opts()); }
+  const std::uint64_t small_cost = bytes_now() - b0;
+  const std::uint64_t b1 = bytes_now();
+  { Lock lk(big, fcfs_opts()); }
+  const std::uint64_t big_cost = bytes_now() - b1;
+  EXPECT_EQ(small_cost, big_cost);
+}
+
+// The regression proper: a per-thread attribute override on a lock in a
+// big domain must size its slot array by the overridden tid (pow2, floor
+// 8), not by Domain::capacity(). With capacity 4096 the old sizing was
+// ~40 bytes x 4096 per lock; the bound here leaves room for one small
+// array plus bookkeeping while failing the capacity-sized allocation by
+// two orders of magnitude.
+TEST(NativeDomainAudit, ThreadAttributeSlotsSizeByTidNotCapacity) {
+  native::Domain dom(4096);
+  Lock lk(dom, fcfs_opts());
+  native::Context ctx(dom);
+  const std::uint64_t before = bytes_now();
+  lk.set_thread_attributes(ctx, ctx.self(), LockAttributes::backoff_spin(4));
+  const std::uint64_t first_override = bytes_now() - before;
+  EXPECT_LT(first_override, 4096u)
+      << "first override must not allocate a capacity-sized slot array";
+
+  // Growth is demand-driven and geometric: overriding a higher tid grows
+  // to the next power of two, and the retired arrays stay bounded by the
+  // final size (< 2x), not by capacity.
+  const std::uint64_t b1 = bytes_now();
+  lk.set_thread_attributes(ctx, 100, LockAttributes::backoff_spin(8));
+  const std::uint64_t growth = bytes_now() - b1;
+  EXPECT_LT(growth, 32'768u);
+  lk.clear_thread_attributes(ctx, 100);
+  lk.clear_thread_attributes(ctx, ctx.self());
+}
+
+// The table use-case end to end: constructing a LockTable registers no
+// threads with the domain and adds no per-capacity cost - its footprint
+// is the slot array, independent of the domain's thread capacity.
+TEST(NativeDomainAudit, LockTableDoesNotTouchRegistration) {
+  native::Domain dom(2048);
+  const std::uint32_t live_before = dom.registered_count();
+  Table::Options to;
+  to.capacity = 1u << 14;
+  to.partitions = 16;
+  to.lock_options = fcfs_opts();
+  const std::uint64_t b0 = bytes_now();
+  Table t(dom, to);
+  const std::uint64_t table_cost = bytes_now() - b0;
+  EXPECT_EQ(dom.registered_count(), live_before);
+  // Slot array + stripe headers + small bookkeeping; nothing resembling
+  // capacity x per-thread state.
+  EXPECT_LT(table_cost, std::uint64_t{16} * t.capacity() +
+                            t.overhead_bytes() + 65'536u);
+  native::Context ctx(dom);
+  EXPECT_TRUE(t.lock(ctx, 1));
+  t.unlock(ctx, 1);
+}
+
+}  // namespace
+}  // namespace relock

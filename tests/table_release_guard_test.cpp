@@ -1,0 +1,120 @@
+// LockTable / TxnLockSet misuse guards in a RELEASE build. Compiled with
+// NDEBUG (see tests/CMakeLists.txt) like core_release_guard_test: assert()
+// is out, so the table's and the 2PL driver's own LockUsageError throws
+// are the only guard rails - and every guard must leave the table usable
+// (a throw that wedges a slot at kSlotDeflating or leaks a pin would turn
+// a caller bug into a stall for every other transaction on that key).
+#ifndef NDEBUG
+#error "table_release_guard_test must be compiled with NDEBUG (release mode)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "relock/platform/native.hpp"
+#include "relock/table/lock_table.hpp"
+#include "relock/table/twopl.hpp"
+
+namespace relock::table {
+namespace {
+
+using native::NativePlatform;
+using Table = LockTable<NativePlatform>;
+using Txn = TxnLockSet<NativePlatform>;
+
+Table::Options opts(bool rw = false) {
+  Table::Options o;
+  o.capacity = 256;
+  o.partitions = 4;
+  o.lock_options.scheduler =
+      rw ? SchedulerKind::kReaderWriter : SchedulerKind::kFcfs;
+  o.lock_options.attributes = LockAttributes::spin();
+  return o;
+}
+
+/// The table must survive the guard: a full cycle on the key still works.
+void expect_usable(Table& t, native::Context& ctx, Table::Key k) {
+  EXPECT_TRUE(t.lock(ctx, k));
+  t.unlock(ctx, k);
+}
+
+TEST(TableReleaseGuard, UnlockOfUnheldKeyThrows) {
+  native::Domain dom(8);
+  Table t(dom, opts());
+  native::Context ctx(dom);
+  EXPECT_THROW(t.unlock(ctx, 1), LockUsageError);
+  EXPECT_TRUE(t.lock(ctx, 1));
+  t.unlock(ctx, 1);
+  EXPECT_THROW(t.unlock(ctx, 1), LockUsageError);
+  expect_usable(t, ctx, 1);
+}
+
+TEST(TableReleaseGuard, SharedOpsOnExclusiveTableThrow) {
+  native::Domain dom(8);
+  Table t(dom, opts());
+  native::Context ctx(dom);
+  EXPECT_THROW((void)t.lock_shared(ctx, 2), LockUsageError);
+  EXPECT_THROW((void)t.try_lock_shared(ctx, 2), LockUsageError);
+  EXPECT_THROW((void)t.lock_shared_for(ctx, 2, 1000), LockUsageError);
+  expect_usable(t, ctx, 2);
+}
+
+TEST(TableReleaseGuard, WrongModeReleaseThrowsAndRestores) {
+  native::Domain dom(8);
+  Table t(dom, opts(/*rw=*/true));
+  native::Context ctx(dom);
+  // Inline exclusive hold, shared release: detected off the word encoding.
+  EXPECT_TRUE(t.lock(ctx, 3));
+  EXPECT_THROW(t.unlock_shared(ctx, 3), LockUsageError);
+  t.unlock(ctx, 3);
+  // Delegated shared hold, exclusive release: detected off the entry's
+  // mode tally - and the guard fires BEFORE the deflation window opens,
+  // so the hold (and its pin) survives and the correct release works.
+  EXPECT_TRUE(t.lock_shared(ctx, 3));
+  EXPECT_THROW(t.unlock(ctx, 3), LockUsageError);
+  t.unlock_shared(ctx, 3);
+  expect_usable(t, ctx, 3);
+}
+
+TEST(TableReleaseGuard, TwoPlUpgradeThrowsInReleaseBuild) {
+  native::Domain dom(8);
+  Table t(dom, opts(/*rw=*/true));
+  native::Context ctx(dom);
+  Txn txn(t, {.policy = DeadlockPolicy::kOrdered});
+  txn.begin(1);
+  EXPECT_TRUE(txn.acquire(ctx, 5, AccessMode::kRead));
+  EXPECT_THROW((void)txn.acquire(ctx, 5, AccessMode::kWrite),
+               LockUsageError);
+  // The guard aborted nothing: the read hold is intact.
+  EXPECT_EQ(txn.held_count(), 1u);
+  txn.release_all(ctx);
+  expect_usable(t, ctx, 5);
+}
+
+TEST(TableReleaseGuard, TwoPlPhaseViolationsThrowInReleaseBuild) {
+  native::Domain dom(8);
+  Table t(dom, opts());
+  native::Context ctx(dom);
+  Txn txn(t, {.policy = DeadlockPolicy::kOrdered});
+  txn.begin(1);
+  EXPECT_TRUE(txn.acquire(ctx, 6, AccessMode::kWrite));
+  EXPECT_THROW((void)txn.acquire(ctx, 2, AccessMode::kWrite),
+               LockUsageError);  // ordering discipline
+  txn.release_all(ctx);
+  EXPECT_THROW((void)txn.acquire(ctx, 7, AccessMode::kWrite),
+               LockUsageError);  // acquire after shrink
+  txn.begin(2);
+  EXPECT_TRUE(txn.acquire(ctx, 7, AccessMode::kWrite));
+  txn.release_all(ctx);
+  expect_usable(t, ctx, 7);
+}
+
+TEST(TableReleaseGuard, ReservedKeyThrows) {
+  native::Domain dom(8);
+  Table t(dom, opts());
+  native::Context ctx(dom);
+  EXPECT_THROW((void)t.lock(ctx, ~std::uint64_t{0}), LockUsageError);
+  expect_usable(t, ctx, 8);
+}
+
+}  // namespace
+}  // namespace relock::table
