@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Diff a native_throughput JSON against a committed baseline.
+"""Diff bench JSONs against committed baselines.
 
 Usage:
     diff_baseline.py CURRENT.json BASELINE.json [--tolerance 0.25]
                      [--warn-drop 0.05] [--fail-drop 0.15]
                      [--min-improve 0.05]
+    diff_baseline.py --manifest bench/baselines/manifest.json
 
 Compares ops/sec cell by cell (matched on threads/scheduler/policy; cells
 present in only one file are reported and skipped). Improvements are
@@ -33,12 +34,30 @@ Two gates are available and compose:
 Cells whose `oversubscribed` tags differ between the two files are skipped:
 the regimes are not comparable.
 
+Manifest mode runs every comparison the repo gates in one invocation, so
+CI carries ONE diff step instead of one hand-edited step per bench. The
+manifest is a JSON list of entries:
+
+    {"entries": [
+      {"name": "native_throughput",
+       "current": "BENCH_native_throughput.json",
+       "baseline": "bench/baselines/native_throughput_post_queue.json",
+       "tolerance": 0.25, "warn_drop": 0.05, "fail_drop": 0.15}, ...]}
+
+Per-entry gate fields are optional and default to the CLI defaults
+(warn_drop/fail_drop default to off). Paths are resolved relative to the
+manifest's own directory when not found relative to the working directory,
+so `python3 bench/diff_baseline.py --manifest bench/baselines/manifest.json`
+works from the repo root. The exit code aggregates: 1 if ANY entry
+regressed.
+
 Exit status: 0 = no regression (warnings allowed), 1 = at least one
-regression, 2 = usage.
+regression, 2 = usage/load error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -52,25 +71,11 @@ def load_cells(path):
     return {cell_key(c): c for c in doc["results"]}, doc
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="fail when current < baseline * TOLERANCE")
-    ap.add_argument("--warn-drop", type=float, default=None,
-                    help="warn when current drops more than this fraction "
-                         "below baseline (e.g. 0.05 = warn past a 5%% drop)")
-    ap.add_argument("--fail-drop", type=float, default=None,
-                    help="fail when current drops more than this fraction "
-                         "below baseline (e.g. 0.15 = fail past a 15%% drop)")
-    ap.add_argument("--min-improve", type=float, default=0.05,
-                    help="report IMPROVED when current rises more than this "
-                         "fraction above baseline (default 0.05)")
-    args = ap.parse_args()
-
-    current, cur_doc = load_cells(args.current)
-    baseline, base_doc = load_cells(args.baseline)
+def diff(current_path, baseline_path, tolerance, warn_drop, fail_drop,
+         min_improve):
+    """One comparison; returns the number of regressed cells."""
+    current, cur_doc = load_cells(current_path)
+    baseline, base_doc = load_cells(baseline_path)
 
     regressions = []
     warnings = 0
@@ -105,18 +110,18 @@ def main():
                  if base["ops_per_sec"] > 0 else float("inf"))
         drop = 1.0 - ratio
         status = "OK"
-        if -drop > args.min_improve:
+        if -drop > min_improve:
             status = "IMPROVED"
             improvements += 1
             if best_improvement is None or ratio > best_improvement[0]:
                 best_improvement = (ratio, key)
-        if args.warn_drop is not None and drop > args.warn_drop:
+        if warn_drop is not None and drop > warn_drop:
             status = "WARN"
             warnings += 1
-        if args.fail_drop is not None and drop > args.fail_drop:
+        if fail_drop is not None and drop > fail_drop:
             status = "REGRESSION"
             regressions.append(key)
-        if cur["ops_per_sec"] < base["ops_per_sec"] * args.tolerance:
+        if cur["ops_per_sec"] < base["ops_per_sec"] * tolerance:
             if status != "REGRESSION":
                 regressions.append(key)
             status = "REGRESSION"
@@ -132,16 +137,87 @@ def main():
 
     print(f"\n{compared} cells compared, {improvements} improved, "
           f"{warnings} warning(s), "
-          f"{len(regressions)} regression(s), tolerance {args.tolerance}"
-          + (f", warn-drop {args.warn_drop}" if args.warn_drop is not None
-             else "")
-          + (f", fail-drop {args.fail_drop}" if args.fail_drop is not None
-             else ""))
+          f"{len(regressions)} regression(s), tolerance {tolerance}"
+          + (f", warn-drop {warn_drop}" if warn_drop is not None else "")
+          + (f", fail-drop {fail_drop}" if fail_drop is not None else ""))
     if best_improvement is not None:
         ratio, (threads, sched, policy) = best_improvement
         print(f"best improvement: {threads} {sched} {policy} "
               f"at {ratio:.2f}x baseline")
-    return 1 if regressions else 0
+    return len(regressions)
+
+
+def resolve(path, manifest_dir):
+    """A manifest path is tried against the CWD first (bench outputs land
+    there), then against the manifest's own directory (baselines live next
+    to it)."""
+    if os.path.exists(path):
+        return path
+    candidate = os.path.join(manifest_dir, path)
+    return candidate if os.path.exists(candidate) else path
+
+
+def run_manifest(manifest_path, args):
+    try:
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load manifest {manifest_path}: {e}")
+        return 2
+    manifest_dir = os.path.dirname(os.path.abspath(manifest_path))
+    total_regressions = 0
+    failed_entries = []
+    for entry in manifest.get("entries", []):
+        name = entry.get("name", entry.get("current", "?"))
+        print(f"\n=== {name} ===")
+        current = resolve(entry["current"], manifest_dir)
+        baseline = resolve(entry["baseline"], manifest_dir)
+        if not os.path.exists(current):
+            print(f"cannot load current {current}: missing "
+                  f"(was the bench run before the diff step?)")
+            return 2
+        n = diff(current, baseline,
+                 entry.get("tolerance", args.tolerance),
+                 entry.get("warn_drop", args.warn_drop),
+                 entry.get("fail_drop", args.fail_drop),
+                 entry.get("min_improve", args.min_improve))
+        total_regressions += n
+        if n:
+            failed_entries.append(name)
+    print(f"\n=== manifest summary: {total_regressions} regression(s)"
+          + (f" in {', '.join(failed_entries)}" if failed_entries else "")
+          + " ===")
+    return 1 if total_regressions else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("--manifest",
+                    help="run every comparison listed in this manifest "
+                         "instead of a single current/baseline pair")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="fail when current < baseline * TOLERANCE")
+    ap.add_argument("--warn-drop", type=float, default=None,
+                    help="warn when current drops more than this fraction "
+                         "below baseline (e.g. 0.05 = warn past a 5%% drop)")
+    ap.add_argument("--fail-drop", type=float, default=None,
+                    help="fail when current drops more than this fraction "
+                         "below baseline (e.g. 0.15 = fail past a 15%% drop)")
+    ap.add_argument("--min-improve", type=float, default=0.05,
+                    help="report IMPROVED when current rises more than this "
+                         "fraction above baseline (default 0.05)")
+    args = ap.parse_args()
+
+    if args.manifest:
+        return run_manifest(args.manifest, args)
+    if args.current is None or args.baseline is None:
+        print("usage: diff_baseline.py CURRENT BASELINE | --manifest FILE")
+        return 2
+    return 1 if diff(args.current, args.baseline, args.tolerance,
+                     args.warn_drop, args.fail_drop,
+                     args.min_improve) else 0
 
 
 if __name__ == "__main__":

@@ -17,23 +17,56 @@
 
 namespace relock::adapt {
 
+/// True when applying `action` would leave `lock` in the configuration it
+/// already targets: identical waiting attributes, the kind arrivals already
+/// register under, or the installed threshold. Suppressing these skips the
+/// whole possess/configure round-trip - and, on real platforms, the
+/// quiescence break a possession inflicts on every concurrent releaser.
+template <Platform P>
+[[nodiscard]] bool action_is_noop(const ConfigurableLock<P>& lock,
+                                  const AdaptAction& action) {
+  if (const auto* w = std::get_if<SetWaitingPolicy>(&action)) {
+    return lock.attributes() == w->attributes;
+  }
+  if (const auto* s = std::get_if<SetScheduler>(&action)) {
+    return lock.target_scheduler_kind() == s->kind;
+  }
+  const auto* t = std::get_if<SetThreshold>(&action);
+  return t != nullptr && lock.priority_threshold() == t->threshold;
+}
+
+/// Fills the platform-census field of a delta (a no-op on platforms
+/// without an oversubscription census, e.g. the simulator).
+template <Platform P>
+void fill_census(typename P::Context& ctx, StatsDelta& d) {
+  if constexpr (requires { P::oversubscribed(ctx); }) {
+    d.oversubscribed = P::oversubscribed(ctx);
+  }
+}
+
 template <Platform P>
 class Adaptor {
  public:
   using Ctx = typename P::Context;
 
   Adaptor(ConfigurableLock<P>& lock, std::unique_ptr<AdaptationPolicy> policy)
-      : lock_(lock), policy_(std::move(policy)),
-        last_(lock.monitor().snapshot()) {}
+      : lock_(lock), policy_(std::move(policy)) {
+    lock.monitor().snapshot_into(last_);
+  }
 
   /// One feedback-loop iteration. Returns true if a reconfiguration was
   /// applied.
   bool step(Ctx& ctx) {
-    const LockStats cur = lock_.monitor().snapshot();
-    const StatsDelta d = delta_between(last_, cur);
-    last_ = cur;
+    lock_.monitor().snapshot_into(scratch_);
+    StatsDelta d = delta_between(last_, scratch_);
+    fill_census<P>(ctx, d);
+    last_ = scratch_;
     const std::optional<AdaptAction> action = policy_->evaluate(d);
     if (!action.has_value()) return false;
+    if (action_is_noop(lock_, *action)) {
+      ++suppressed_;
+      return false;
+    }
     apply(ctx, *action);
     ++applied_;
     return true;
@@ -41,6 +74,11 @@ class Adaptor {
 
   [[nodiscard]] std::uint64_t actions_applied() const noexcept {
     return applied_;
+  }
+  /// Actions the policy emitted whose target equalled the current
+  /// configuration (skipped without a possess/configure round-trip).
+  [[nodiscard]] std::uint64_t actions_suppressed() const noexcept {
+    return suppressed_;
   }
 
  private:
@@ -63,7 +101,9 @@ class Adaptor {
   ConfigurableLock<P>& lock_;
   std::unique_ptr<AdaptationPolicy> policy_;
   LockStats last_;
+  LockStats scratch_;
   std::uint64_t applied_ = 0;
+  std::uint64_t suppressed_ = 0;
 };
 
 }  // namespace relock::adapt

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "relock/core/attributes.hpp"
 #include "relock/monitor/lock_monitor.hpp"
@@ -39,6 +42,11 @@ struct StatsDelta {
   std::uint64_t timeouts = 0;
   double mean_hold_ns = 0.0;
   double mean_wait_ns = 0.0;
+  /// Domain census at evaluation time: more registered threads than
+  /// processors. Filled by the caller (Adaptor / PolicyEngine) on
+  /// platforms that expose a census, false elsewhere - it is an input to
+  /// the cost-model and scheduler-switch policies, not a monitor counter.
+  bool oversubscribed = false;
 
   [[nodiscard]] double contention_ratio() const {
     return acquisitions == 0
@@ -170,6 +178,186 @@ class ContentionSchedulerPolicy final : public AdaptationPolicy {
  private:
   Params params_;
   bool queued_ = false;
+};
+
+/// Mutable-Locks-style waiting cost model (PAPERS.md, arXiv 1906.00490):
+/// spinning is worth it only while the expected wait is cheaper than the
+/// pair of context switches a park/unpark round trip costs; past that,
+/// every spinning waiter burns a processor the holder could be running on.
+/// The decision variable is the observed mean wait per interval against a
+/// 2x-context-switch budget with a multiplicative hysteresis band, and a
+/// domain oversubscription census forces the sleep side outright (spinning
+/// while processors are oversubscribed steals cycles from the very thread
+/// being waited on). The sleep side keeps a short spin phase in front of
+/// the park (the paper's combined lock; Mutable Locks' "spin-then-block").
+class CostModelWaitPolicy final : public AdaptationPolicy {
+ public:
+  struct Params {
+    /// Estimated park+unpark round trip. The Mutable Locks rule spins
+    /// while expected wait < 2 * this.
+    double context_switch_ns = 5'000.0;
+    /// Multiplicative dead band around the 2x budget (no oscillation when
+    /// the mean wait hovers at the boundary).
+    double hysteresis = 1.5;
+    /// Minimum acquisitions per interval before acting (noise gate).
+    std::uint64_t min_samples = 8;
+    /// Spin probes kept in front of the park on the sleep side.
+    std::uint32_t residual_spins = 32;
+  };
+
+  CostModelWaitPolicy() : CostModelWaitPolicy(Params{}) {}
+  explicit CostModelWaitPolicy(Params p, bool start_sleeping = false)
+      : params_(p), sleeping_(start_sleeping) {}
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    if (d.acquisitions < params_.min_samples) return std::nullopt;
+    const double budget = 2.0 * params_.context_switch_ns;
+    if (!sleeping_ &&
+        (d.oversubscribed || d.mean_wait_ns > budget * params_.hysteresis)) {
+      sleeping_ = true;
+      return AdaptAction{SetWaitingPolicy{
+          LockAttributes::combined(params_.residual_spins, kForever)}};
+    }
+    if (sleeping_ && !d.oversubscribed && d.mean_wait_ns > 0.0 &&
+        d.mean_wait_ns < budget / params_.hysteresis) {
+      sleeping_ = false;
+      return AdaptAction{SetWaitingPolicy{LockAttributes::spin()}};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool sleeping() const noexcept { return sleeping_; }
+
+ private:
+  Params params_;
+  bool sleeping_ = false;
+};
+
+/// Scheduler-kind switch between the centralized FCFS module and the
+/// distributed MCS-family queue ("Correctness of Hierarchical MCS Locks
+/// with Timeout", PAPERS.md): the queue's local spinning scales under
+/// heavy contention on dedicated processors, but FIFO handoff to a
+/// preempted waiter stalls the whole chain once the domain oversubscribes
+/// - detected oversubscription drops back to kFcfs (whose waiters can
+/// park), and sustained contention on a non-oversubscribed domain adopts
+/// kQueue.
+class OversubscriptionSchedulerPolicy final : public AdaptationPolicy {
+ public:
+  struct Params {
+    double queue_above = 0.25;  ///< contention ratio to adopt the queue
+    double fcfs_below = 0.05;   ///< and to drop back to centralized FCFS
+    std::uint64_t min_samples = 8;
+  };
+
+  OversubscriptionSchedulerPolicy()
+      : OversubscriptionSchedulerPolicy(Params{}) {}
+  explicit OversubscriptionSchedulerPolicy(Params p, bool start_queued = false)
+      : params_(p), queued_(start_queued) {}
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    if (d.acquisitions < params_.min_samples) return std::nullopt;
+    if (queued_) {
+      if (d.oversubscribed || d.contention_ratio() < params_.fcfs_below) {
+        queued_ = false;
+        return AdaptAction{SetScheduler{SchedulerKind::kFcfs}};
+      }
+      return std::nullopt;
+    }
+    if (!d.oversubscribed && d.contention_ratio() > params_.queue_above) {
+      queued_ = true;
+      return AdaptAction{SetScheduler{SchedulerKind::kQueue}};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool queued() const noexcept { return queued_; }
+
+ private:
+  Params params_;
+  bool queued_ = false;
+};
+
+/// Threshold resizing under bursty arrivals (kPriorityThreshold locks):
+/// when the arrival rate spikes against its running EWMA, raise the
+/// threshold so only waiters at or above the burst priority are served
+/// while the burst drains; when arrivals subside, drop back so everyone is
+/// eligible again. The EWMA is seeded by the first interval and the
+/// surge/subside factors form the hysteresis band.
+class BurstThresholdPolicy final : public AdaptationPolicy {
+ public:
+  struct Params {
+    Priority calm_threshold = kDefaultPriority;
+    Priority burst_threshold = 1;
+    double alpha = 0.25;          ///< EWMA smoothing
+    double surge_factor = 3.0;    ///< rate > factor * EWMA opens a burst
+    double subside_factor = 1.5;  ///< rate * factor < EWMA closes it
+    std::uint64_t min_samples = 8;
+  };
+
+  BurstThresholdPolicy() : BurstThresholdPolicy(Params{}) {}
+  explicit BurstThresholdPolicy(Params p) : params_(p) {}
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    const double rate = static_cast<double>(d.acquisitions);
+    if (ewma_ < 0.0) {  // first interval seeds the running mean
+      ewma_ = rate;
+      return std::nullopt;
+    }
+    const double prev = ewma_;
+    ewma_ = params_.alpha * rate + (1.0 - params_.alpha) * ewma_;
+    if (d.acquisitions < params_.min_samples) {
+      // Quiet interval: any open burst is over.
+      if (surged_) {
+        surged_ = false;
+        return AdaptAction{SetThreshold{params_.calm_threshold}};
+      }
+      return std::nullopt;
+    }
+    if (!surged_ && prev > 0.0 && rate > prev * params_.surge_factor) {
+      surged_ = true;
+      return AdaptAction{SetThreshold{params_.burst_threshold}};
+    }
+    if (surged_ && rate * params_.subside_factor < prev) {
+      surged_ = false;
+      return AdaptAction{SetThreshold{params_.calm_threshold}};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool surged() const noexcept { return surged_; }
+
+ private:
+  Params params_;
+  double ewma_ = -1.0;
+  bool surged_ = false;
+};
+
+/// Composable policy stack: members are evaluated in order and the first
+/// engaged action wins the interval (one reconfiguration per interval
+/// keeps cause and effect attributable - the next delta reflects exactly
+/// one change). Members skipped after a hit just miss one interval; their
+/// own hysteresis state is untouched, so no member can desynchronize from
+/// the lock by having an emitted action silently dropped.
+class PolicyStack final : public AdaptationPolicy {
+ public:
+  PolicyStack() = default;
+  explicit PolicyStack(std::vector<std::unique_ptr<AdaptationPolicy>> ps)
+      : policies_(std::move(ps)) {}
+
+  void push(std::unique_ptr<AdaptationPolicy> p) {
+    policies_.push_back(std::move(p));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return policies_.size(); }
+
+  std::optional<AdaptAction> evaluate(const StatsDelta& d) override {
+    for (const std::unique_ptr<AdaptationPolicy>& p : policies_) {
+      if (std::optional<AdaptAction> a = p->evaluate(d)) return a;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::unique_ptr<AdaptationPolicy>> policies_;
 };
 
 /// Phase detector: flags intervals whose mean hold time departs from the

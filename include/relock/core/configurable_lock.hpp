@@ -448,6 +448,7 @@ class ConfigurableLock {
     if (pending_scheduler_ != nullptr) {
       pending_scheduler_->set_threshold(threshold);
     }
+    threshold_mirror_.store(threshold, std::memory_order_relaxed);
     note(ctx, LockEvent::kThresholdSet,
                  static_cast<std::uint64_t>(
                      static_cast<std::int64_t>(threshold)));
@@ -624,6 +625,21 @@ class ConfigurableLock {
   }
   [[nodiscard]] bool reconfiguration_pending() const {
     return has_pending_.load(std::memory_order_relaxed);
+  }
+  /// Scheduler kind the next arrival will register under: the incoming
+  /// module's kind while a configuration delay is in effect, else the
+  /// installed one. Lock-free advisory read; external governors compare it
+  /// against an intended kind to suppress no-op reconfigurations without
+  /// taking possession.
+  [[nodiscard]] SchedulerKind target_scheduler_kind() const noexcept {
+    return arrival_target_kind();
+  }
+  /// Last threshold installed via set_priority_threshold (kDefaultPriority
+  /// until one is). Host-side mirror: the live scheduler-module pointer may
+  /// be mid-swap during a reconfiguration, so governors read this instead
+  /// of chasing the module.
+  [[nodiscard]] Priority priority_threshold() const noexcept {
+    return threshold_mirror_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] LockMonitor& monitor() noexcept { return monitor_; }
   [[nodiscard]] const LockMonitor& monitor() const noexcept {
@@ -2611,6 +2627,9 @@ class ConfigurableLock {
   std::atomic<SchedulerKind> scheduler_kind_;
   std::atomic<SchedulerKind> pending_kind_{SchedulerKind::kNone};
   std::atomic<bool> has_pending_{false};
+  /// Advisory mirror of the last set_priority_threshold value (see
+  /// priority_threshold()).
+  std::atomic<Priority> threshold_mirror_{kDefaultPriority};
   /// Shared half of the distributed (kQueue) waiter queue. Lock-resident -
   /// not module-resident - so lock-free arrivals can tail-swap into stable
   /// storage no matter how many times configuration flips kQueue on and

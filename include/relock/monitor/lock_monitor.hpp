@@ -180,10 +180,20 @@ class LockMonitor {
   /// subtracts the reset baseline. Every reported counter covers the window
   /// since the last reset() and can only grow within one reset generation.
   [[nodiscard]] LockStats snapshot() const {
-    BaselineGuard g(baseline_mu_);
-    LockStats s = subtract(raw_snapshot(), baseline_);
-    s.reset_generation = reset_generation_;
+    LockStats s;
+    snapshot_into(s);
     return s;
+  }
+
+  /// snapshot() into a caller-owned buffer: the shard merge and baseline
+  /// subtraction run in place, so a periodic consumer (the adaptation
+  /// engine polling hundreds of locks per tick) pays zero allocations and
+  /// no LockStats temporaries - just the merge loop over the shards.
+  void snapshot_into(LockStats& out) const {
+    BaselineGuard g(baseline_mu_);
+    raw_snapshot_into(out);
+    subtract_in_place(out, baseline_);
+    out.reset_generation = reset_generation_;
   }
 
   /// Starts a new statistics window. The live counters are NEVER written -
@@ -236,6 +246,11 @@ class LockMonitor {
   /// Merged view of the live counters since construction (no baseline).
   [[nodiscard]] LockStats raw_snapshot() const {
     LockStats s;
+    raw_snapshot_into(s);
+    return s;
+  }
+  void raw_snapshot_into(LockStats& s) const {
+    s = LockStats{};
     s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.reconfigurations = reconfigurations_.load(std::memory_order_relaxed);
     s.scheduler_changes = scheduler_changes_.load(std::memory_order_relaxed);
@@ -263,7 +278,6 @@ class LockMonitor {
             h.hold_hist[i].load(std::memory_order_relaxed);
       }
     }
-    return s;
   }
 
   /// raw >= base field-wise whenever both were taken under baseline_mu_
@@ -273,37 +287,34 @@ class LockMonitor {
                                    std::uint64_t base) noexcept {
     return raw >= base ? raw - base : 0;
   }
-  [[nodiscard]] static LockStats subtract(const LockStats& raw,
-                                          const LockStats& base) {
-    LockStats s;
-    s.acquisitions = sub_clamped(raw.acquisitions, base.acquisitions);
-    s.contended_acquisitions = sub_clamped(raw.contended_acquisitions,
+  /// `s` holds raw totals on entry, baseline-relative ones on return.
+  static void subtract_in_place(LockStats& s, const LockStats& base) {
+    s.acquisitions = sub_clamped(s.acquisitions, base.acquisitions);
+    s.contended_acquisitions = sub_clamped(s.contended_acquisitions,
                                            base.contended_acquisitions);
-    s.releases = sub_clamped(raw.releases, base.releases);
-    s.handoffs = sub_clamped(raw.handoffs, base.handoffs);
-    s.blocks = sub_clamped(raw.blocks, base.blocks);
-    s.wakeups = sub_clamped(raw.wakeups, base.wakeups);
-    s.timeouts = sub_clamped(raw.timeouts, base.timeouts);
-    s.spin_probes = sub_clamped(raw.spin_probes, base.spin_probes);
+    s.releases = sub_clamped(s.releases, base.releases);
+    s.handoffs = sub_clamped(s.handoffs, base.handoffs);
+    s.blocks = sub_clamped(s.blocks, base.blocks);
+    s.wakeups = sub_clamped(s.wakeups, base.wakeups);
+    s.timeouts = sub_clamped(s.timeouts, base.timeouts);
+    s.spin_probes = sub_clamped(s.spin_probes, base.spin_probes);
     s.reconfigurations =
-        sub_clamped(raw.reconfigurations, base.reconfigurations);
+        sub_clamped(s.reconfigurations, base.reconfigurations);
     s.scheduler_changes =
-        sub_clamped(raw.scheduler_changes, base.scheduler_changes);
+        sub_clamped(s.scheduler_changes, base.scheduler_changes);
     s.shared_acquisitions =
-        sub_clamped(raw.shared_acquisitions, base.shared_acquisitions);
-    s.timed_waits = sub_clamped(raw.timed_waits, base.timed_waits);
-    s.timed_holds = sub_clamped(raw.timed_holds, base.timed_holds);
-    s.total_wait_ns = sub_clamped(raw.total_wait_ns, base.total_wait_ns);
-    s.total_hold_ns = sub_clamped(raw.total_hold_ns, base.total_hold_ns);
-    s.max_wait_ns = raw.max_wait_ns;  // maxima restart at reset (see above)
-    s.max_hold_ns = raw.max_hold_ns;
+        sub_clamped(s.shared_acquisitions, base.shared_acquisitions);
+    s.timed_waits = sub_clamped(s.timed_waits, base.timed_waits);
+    s.timed_holds = sub_clamped(s.timed_holds, base.timed_holds);
+    s.total_wait_ns = sub_clamped(s.total_wait_ns, base.total_wait_ns);
+    s.total_hold_ns = sub_clamped(s.total_hold_ns, base.total_hold_ns);
+    // Maxima restart at reset (see above): the raw values stand.
     for (std::size_t i = 0; i < LockStats::kBuckets; ++i) {
       s.wait_histogram[i] =
-          sub_clamped(raw.wait_histogram[i], base.wait_histogram[i]);
+          sub_clamped(s.wait_histogram[i], base.wait_histogram[i]);
       s.hold_histogram[i] =
-          sub_clamped(raw.hold_histogram[i], base.hold_histogram[i]);
+          sub_clamped(s.hold_histogram[i], base.hold_histogram[i]);
     }
-    return s;
   }
 
   /// Hot-edge counters, one cache-padded copy per shard, bumped with plain

@@ -15,6 +15,7 @@
 
 #include "relock/adapt/adaptor.hpp"
 #include "relock/adapt/policies.hpp"
+#include "relock/adapt/policy_engine.hpp"
 #include "relock/core/attributes.hpp"
 #include "relock/core/configurable_lock.hpp"
 #include "relock/core/edf_scheduler.hpp"

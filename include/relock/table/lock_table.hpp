@@ -52,6 +52,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <stdexcept>
@@ -155,6 +156,19 @@ class LockTable {
     /// Configuration applied to inflated locks. A kReaderWriter scheduler
     /// here makes the table shared-capable (lock_shared et al.).
     typename Lock::Options lock_options{};
+    /// Inflation lifecycle hooks - the adaptation engine's registration
+    /// point for hot locks (PolicyEngine::inflation_hook/deflation_hook).
+    /// on_inflate fires right after a slot publishes a freshly installed
+    /// Entry; on_deflate fires inside the closed deflation window,
+    /// strictly BEFORE the Entry returns to the partition pool, so a hook
+    /// can never observe the same Lock re-inflated under another key
+    /// while its deregistration is still in flight. Hooks run on the
+    /// inflating/deflating thread's lock path: keep them cheap and do not
+    /// throw. Entries recycled through the pool keep whatever
+    /// configuration a governor last gave them; the next inflation
+    /// re-registers the lock and the governor re-derives it.
+    std::function<void(Lock&)> on_inflate;
+    std::function<void(Lock&)> on_deflate;
   };
 
   LockTable(Domain& domain, Options opts = Options{})
@@ -496,6 +510,7 @@ class LockTable {
     chk_point<P>(ctx, "tb.defl.recheck");
     if (e->users.load(std::memory_order_seq_cst) == 0 &&
         !e->sticky.load(std::memory_order_acquire)) {
+      if (opts_.on_deflate) opts_.on_deflate(e->lock);
       recycle_entry(part_of(s), e);
       inflated_.fetch_sub(1, std::memory_order_relaxed);
       Ops::store(ctx, s.word, kSlotFree);
@@ -517,6 +532,7 @@ class LockTable {
         encode(e) | kSlotInflated | (expected & kSlotHeld);
     if (Ops::cas(ctx, s.word, expected, target)) {
       inflated_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.on_inflate) opts_.on_inflate(e->lock);
       return e;
     }
     unpin(ctx, e);
@@ -716,6 +732,7 @@ class LockTable {
           }
           if (shared) e->shared_holds.fetch_sub(1, std::memory_order_acq_rel);
           unpin(ctx, e);
+          if (opts_.on_deflate) opts_.on_deflate(e->lock);
           recycle_entry(part_of(s), e);
           inflated_.fetch_sub(1, std::memory_order_relaxed);
           Ops::store(ctx, s.word, kSlotFree);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check_engine_scenarios.hpp"
 #include "check_scenarios.hpp"
 #include "check_table_scenarios.hpp"
 #include "relock/check/strategies.hpp"
@@ -81,6 +82,14 @@ TEST(RelockCheckDeep, TableInflate2Bound3) {
 
 TEST(RelockCheckDeep, TableDeflate2Bound3) {
   expect_exhaustive(scenarios::table_deflate2(), 3);
+}
+
+TEST(RelockCheckDeep, EngineTick2Bound3) {
+  expect_exhaustive(scenarios::engine_tick2(), 3);
+}
+
+TEST(RelockCheckDeep, EngineStorm2Bound3) {
+  expect_exhaustive(scenarios::engine_storm2(), 3);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "check_engine_scenarios.hpp"
 #include "check_scenarios.hpp"
 #include "relock/check/strategies.hpp"
 
@@ -79,6 +80,22 @@ TEST(RelockCheckSmoke, QueueConfig2Exhaustive) {
   // kQueue -> kFcfs -> kQueue reconfiguration with linked waiters:
   // configuration delay, stray sweep, and FIFO across the generations.
   expect_exhaustive(scenarios::queue_config2(), 2);
+}
+
+TEST(RelockCheckSmoke, EngineTick2Exhaustive) {
+  // PolicyEngine::tick() flipping the waiting policy (flip-flop forcer)
+  // against a worker's timed acquire and plain cycle: the governor's
+  // possess/configure footprint racing the lock paths, with an end-state
+  // oracle on the applied count and final configuration.
+  expect_exhaustive(scenarios::engine_tick2(), 2);
+}
+
+TEST(RelockCheckSmoke, EngineStorm2Exhaustive) {
+  // Two engines force opposing scheduler kinds on one lock: possession
+  // fast-fail contention, back-to-back scheduler swaps with the
+  // configuration delay, and lock cycles threading through whichever
+  // module is installed or pending.
+  expect_exhaustive(scenarios::engine_storm2(), 2);
 }
 
 TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {

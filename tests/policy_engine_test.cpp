@@ -1,0 +1,314 @@
+// PolicyEngine + GovernorThread on the native platform: registry
+// lifecycle, the tick loop's damper semantics (no-op suppression, per-lock
+// cooldown, global rate limit, possession fast-fail - each DEFERRING, not
+// dropping, so policies never desynchronize from their locks), the
+// LockTable inflation-hook wiring, and the background governor thread
+// closing the loop end to end. Monitor intervals are synthesized directly
+// through the LockMonitor recording API so each test controls exactly what
+// the policies observe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "relock/adapt/policy_engine.hpp"
+#include "relock/platform/native.hpp"
+#include "relock/table/lock_table.hpp"
+
+namespace relock::adapt {
+namespace {
+
+using native::NativePlatform;
+using Lock = ConfigurableLock<NativePlatform>;
+using Engine = PolicyEngine<NativePlatform>;
+using Table = table::LockTable<NativePlatform>;
+
+Lock::Options monitored_spin_lock() {
+  Lock::Options o;
+  o.scheduler = SchedulerKind::kFcfs;
+  o.attributes = LockAttributes::spin();
+  o.monitor_enabled = true;
+  return o;
+}
+
+Engine::Options engine_options(std::uint32_t capacity = 8,
+                               std::uint32_t max_actions = 4,
+                               std::uint32_t cooldown = 0) {
+  Engine::Options o;
+  o.capacity = capacity;
+  o.max_actions_per_tick = max_actions;
+  o.cooldown_ticks = cooldown;
+  return o;
+}
+
+/// One synthesized monitoring interval: `n` contended acquisitions, each
+/// carrying a timed wait of `wait_ns`. Enough samples to clear every
+/// policy's default noise gate (min_samples = 8).
+void feed_interval(Lock& lock, Nanos wait_ns, int n = 16) {
+  LockMonitor& m = lock.monitor();
+  for (int i = 0; i < n; ++i) {
+    m.on_acquire(/*contended=*/true);
+    m.on_wait_complete(wait_ns);
+  }
+}
+
+/// Always engages with a fixed waiting-policy target; the engine's no-op
+/// suppression is what keeps it from reconfiguring forever.
+class ForceWaitPolicy final : public AdaptationPolicy {
+ public:
+  explicit ForceWaitPolicy(LockAttributes target) : target_(target) {}
+  std::optional<AdaptAction> evaluate(const StatsDelta&) override {
+    return AdaptAction{SetWaitingPolicy{target_}};
+  }
+
+ private:
+  LockAttributes target_;
+};
+
+/// Alternates between two waiting policies every evaluation.
+class FlipFlopPolicy final : public AdaptationPolicy {
+ public:
+  std::optional<AdaptAction> evaluate(const StatsDelta&) override {
+    flip_ = !flip_;
+    return AdaptAction{SetWaitingPolicy{
+        flip_ ? LockAttributes::combined(1, kForever)
+              : LockAttributes::spin()}};
+  }
+
+ private:
+  bool flip_ = false;
+};
+
+// ---------------------------------------------------------- Registry ----
+
+TEST(PolicyEngineRegistry, RegisterTickUnregisterReclaim) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options(/*capacity=*/2));
+
+  EXPECT_TRUE(eng.register_lock(lock));
+  EXPECT_EQ(eng.registered_count(), 1u);
+  EXPECT_TRUE(eng.unregister_lock(lock));
+  EXPECT_FALSE(eng.unregister_lock(lock))
+      << "second unregister of the same lock must report not-live";
+  EXPECT_EQ(eng.registered_count(), 0u);
+
+  // The dead slot is reclaimed only inside tick(); afterwards the registry
+  // is fully reusable.
+  eng.tick(ctx);
+  EXPECT_TRUE(eng.register_lock(lock));
+  EXPECT_EQ(eng.registered_count(), 1u);
+}
+
+TEST(PolicyEngineRegistry, RegistrationIsBestEffortWhenFull) {
+  native::Domain dom(16);
+  Lock a(dom, monitored_spin_lock());
+  Lock b(dom, monitored_spin_lock());
+  Lock c(dom, monitored_spin_lock());
+  Engine eng(engine_options(/*capacity=*/2));
+
+  EXPECT_TRUE(eng.register_lock(a));
+  EXPECT_TRUE(eng.register_lock(b));
+  EXPECT_FALSE(eng.register_lock(c)) << "registry full: best-effort refusal";
+  EXPECT_EQ(eng.registered_count(), 2u);
+}
+
+// --------------------------------------------------- Tick + policies ----
+
+TEST(PolicyEngineTick, CostModelFlipsToSleepAndBack) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options());
+  ASSERT_TRUE(eng.register_lock(
+      lock, std::make_unique<CostModelWaitPolicy>(CostModelWaitPolicy::Params{},
+                                                  /*start_sleeping=*/false)));
+
+  // Interval 1: waits far beyond the 2x-context-switch budget -> the
+  // cost model parks waiters (combined spin-then-sleep).
+  feed_interval(lock, /*wait_ns=*/200'000);
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(lock.attributes(),
+            LockAttributes::combined(CostModelWaitPolicy::Params{}.residual_spins,
+                                     kForever));
+
+  // Interval 2: waits well inside the budget -> back to pure spinning.
+  feed_interval(lock, /*wait_ns=*/500);
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::spin());
+
+  const Engine::Counters& c = eng.counters();
+  EXPECT_EQ(c.applied, 2u);
+  EXPECT_EQ(c.evaluated, 2u);
+  EXPECT_GE(lock.monitor().snapshot().reconfigurations, 2u);
+}
+
+TEST(PolicyEngineTick, NoopActionsAreSuppressedBeforePossession) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options());
+  // Forces the configuration the lock already has: every tick must be
+  // swallowed by the no-op damper without touching the lock.
+  ASSERT_TRUE(eng.register_lock(
+      lock, std::make_unique<ForceWaitPolicy>(LockAttributes::spin())));
+
+  for (int i = 0; i < 3; ++i) eng.tick(ctx);
+  const Engine::Counters& c = eng.counters();
+  EXPECT_EQ(c.applied, 0u);
+  EXPECT_EQ(c.suppressed_noop, 3u);
+  EXPECT_EQ(lock.monitor().snapshot().reconfigurations, 0u);
+}
+
+TEST(PolicyEngineTick, RateLimiterDefersExcessActionsToNextTick) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock a(dom, monitored_spin_lock());
+  Lock b(dom, monitored_spin_lock());
+  Engine eng(engine_options(/*capacity=*/4, /*max_actions=*/1));
+  const LockAttributes target = LockAttributes::combined(7, kForever);
+  ASSERT_TRUE(eng.register_lock(a, std::make_unique<ForceWaitPolicy>(target)));
+  ASSERT_TRUE(eng.register_lock(b, std::make_unique<ForceWaitPolicy>(target)));
+
+  // Tick 1: one action fits the budget; the other defers.
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(eng.counters().rate_limited, 1u);
+  EXPECT_NE(a.attributes() == target, b.attributes() == target)
+      << "exactly one of the two locks reconfigures under a budget of 1";
+
+  // Tick 2: the deferred action drains; the already-converged lock's fresh
+  // evaluation is a no-op.
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(a.attributes(), target);
+  EXPECT_EQ(b.attributes(), target);
+  EXPECT_EQ(eng.counters().applied, 2u);
+}
+
+TEST(PolicyEngineTick, PossessionFastFailDefersInsteadOfSpinning) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options());
+  ASSERT_TRUE(eng.register_lock(
+      lock,
+      std::make_unique<ForceWaitPolicy>(LockAttributes::combined(3, kForever))));
+
+  // Another agent owns the waiting-policy attribute class: the engine's
+  // try_possess must fast-fail and defer, leaving the lock untouched.
+  ASSERT_TRUE(lock.try_possess(ctx, AttributeClass::kWaitingPolicy));
+  EXPECT_EQ(eng.tick(ctx), 0u);
+  EXPECT_EQ(eng.counters().possession_busy, 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::spin());
+
+  // Possession released: the deferred action applies on the next tick.
+  lock.release_possession(ctx, AttributeClass::kWaitingPolicy);
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::combined(3, kForever));
+}
+
+TEST(PolicyEngineTick, CooldownDefersBackToBackReconfigurations) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options(/*capacity=*/4, /*max_actions=*/4,
+                            /*cooldown=*/2));
+  ASSERT_TRUE(eng.register_lock(lock, std::make_unique<FlipFlopPolicy>()));
+
+  // Tick 1 applies the first flip and opens the cooldown window.
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::combined(1, kForever));
+  // Tick 2 is inside the window: the second flip defers.
+  EXPECT_EQ(eng.tick(ctx), 0u);
+  EXPECT_EQ(eng.counters().suppressed_cooldown, 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::combined(1, kForever));
+  // Tick 3: window over, the deferred flip drains.
+  EXPECT_EQ(eng.tick(ctx), 1u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::spin());
+}
+
+TEST(PolicyEngineTick, DefaultStackSeedsFromCurrentConfiguration) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options());
+  ASSERT_TRUE(eng.register_lock(lock));  // null policy -> default_stack
+
+  // A quiet interval (below every noise gate) must produce no action, and
+  // in particular the seeded hysteresis sides must not emit a flip to
+  // where the lock already is.
+  eng.tick(ctx);
+  EXPECT_EQ(eng.counters().applied, 0u);
+  EXPECT_EQ(lock.attributes(), LockAttributes::spin());
+}
+
+// ------------------------------------------------------- Table hooks ----
+
+TEST(PolicyEngineTable, InflationHooksGovernHotEntries) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Engine eng(engine_options());
+  Table::Options topts;
+  topts.capacity = 64;
+  topts.partitions = 1;
+  topts.lock_options.scheduler = SchedulerKind::kFcfs;
+  topts.lock_options.monitor_enabled = true;
+  topts.on_inflate = eng.inflation_hook();
+  topts.on_deflate = eng.deflation_hook();
+  Table table(dom, topts);
+
+  constexpr Table::Key kKey = 42;
+  table.inflate(ctx, kKey);
+  EXPECT_EQ(table.inflated_count(), 1u);
+  EXPECT_EQ(eng.registered_count(), 1u)
+      << "inflation must register the hot entry with the governor";
+
+  // Pre-inflation is non-sticky: the last release deflates the entry and
+  // the deflation hook deregisters it inside the closed window.
+  ASSERT_TRUE(table.lock(ctx, kKey));
+  table.unlock(ctx, kKey);
+  EXPECT_EQ(table.inflated_count(), 0u);
+  EXPECT_EQ(eng.registered_count(), 0u);
+
+  // The dead slot recycles through a tick and the key can go hot again.
+  eng.tick(ctx);
+  table.inflate(ctx, kKey);
+  EXPECT_EQ(eng.registered_count(), 1u);
+  ASSERT_TRUE(table.lock(ctx, kKey));
+  table.unlock(ctx, kKey);
+  EXPECT_EQ(eng.registered_count(), 0u);
+}
+
+// -------------------------------------------------- Governor thread ----
+
+TEST(GovernorThreadTest, BackgroundTicksCloseTheLoop) {
+  native::Domain dom(16);
+  Lock lock(dom, monitored_spin_lock());
+  Engine eng(engine_options());
+  ASSERT_TRUE(eng.register_lock(
+      lock, std::make_unique<CostModelWaitPolicy>(CostModelWaitPolicy::Params{},
+                                                  /*start_sleeping=*/false)));
+
+  GovernorThread<NativePlatform> governor(dom, eng,
+                                          /*interval_ns=*/1'000'000);
+  // Keep feeding long-wait intervals until a background tick consumes one
+  // and reconfigures the lock to the sleeping side.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (lock.attributes() == LockAttributes::spin() &&
+         std::chrono::steady_clock::now() < deadline) {
+    feed_interval(lock, /*wait_ns=*/500'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  governor.stop();  // idempotent; destructor stops again harmlessly
+
+  EXPECT_NE(lock.attributes(), LockAttributes::spin())
+      << "governor thread never applied the cost-model flip";
+  EXPECT_GE(eng.counters().applied, 1u);
+  EXPECT_GE(eng.counters().ticks, 1u);
+}
+
+}  // namespace
+}  // namespace relock::adapt

@@ -9,10 +9,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "relock/adapt/policy_engine.hpp"
 #include "relock/core/configurable_lock.hpp"
 #include "relock/platform/native.hpp"
 
@@ -121,6 +124,62 @@ TEST(ReleaseAllocation, CentralizedSteadyStateIsAllocationFree) {
   native::Domain dom(16);
   Lock lock(dom, {.scheduler = SchedulerKind::kNone});
   run_zero_alloc_window(lock, dom, LockAttributes::combined(200));
+}
+
+// Alternates two waiting policies so every tick carries a real
+// reconfiguration - the engine's full snapshot/evaluate/possess/configure
+// path runs each pass. Waiting-policy flips only: a scheduler-kind change
+// legitimately allocates the new module, so it has no place in a
+// steady-state window.
+class AllocFreeFlipPolicy final : public adapt::AdaptationPolicy {
+ public:
+  std::optional<adapt::AdaptAction> evaluate(
+      const adapt::StatsDelta&) override {
+    flip_ = !flip_;
+    return adapt::AdaptAction{adapt::SetWaitingPolicy{
+        flip_ ? LockAttributes::combined(8, kForever)
+              : LockAttributes::spin()}};
+  }
+
+ private:
+  bool flip_ = false;
+};
+
+// The governor's tick loop in steady state - snapshot_into() consuming the
+// sharded monitor, policy evaluation, and applied waiting-policy
+// reconfigurations - must execute ZERO heap allocations: a per-tick
+// allocation would turn a large registry into an allocator hot spot.
+TEST(ReleaseAllocation, PolicyEngineTickSteadyStateIsAllocationFree) {
+  native::Domain dom(16);
+  native::Context ctx(dom);
+  Lock lock(dom, {.scheduler = SchedulerKind::kFcfs, .monitor_enabled = true});
+  adapt::PolicyEngine<native::NativePlatform>::Options eopts;
+  eopts.cooldown_ticks = 0;  // every tick applies: maximum per-tick work
+  adapt::PolicyEngine<native::NativePlatform> engine(eopts);
+  ASSERT_TRUE(
+      engine.register_lock(lock, std::make_unique<AllocFreeFlipPolicy>()));
+
+  auto feed = [&] {
+    for (int i = 0; i < 16; ++i) {
+      lock.monitor().on_acquire(/*contended=*/true);
+      lock.monitor().on_wait_complete(10'000);
+    }
+  };
+  // Warm-up: one flip in each direction grows anything lazily sized.
+  feed();
+  engine.tick(ctx);
+  feed();
+  engine.tick(ctx);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_acquire);
+  for (int t = 0; t < 64; ++t) {
+    feed();
+    engine.tick(ctx);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_acquire);
+  EXPECT_EQ(after - before, 0u)
+      << "heap allocations during steady-state governor ticks";
+  EXPECT_GE(engine.counters().applied, 64u);
 }
 
 }  // namespace
