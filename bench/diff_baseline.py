@@ -49,7 +49,11 @@ Per-entry gate fields are optional and default to the CLI defaults
 manifest's own directory when not found relative to the working directory,
 so `python3 bench/diff_baseline.py --manifest bench/baselines/manifest.json`
 works from the repo root. The exit code aggregates: 1 if ANY entry
-regressed.
+regressed. A malformed entry or a baseline file that does not exist is a
+counted WARNING (the entry is skipped, the rest still run), and a cell
+present in the baseline but absent from the current run is a counted
+WARNING too - neither can silently pass. A missing *current* file stays a
+load error (exit 2): it means the bench never ran.
 
 Exit status: 0 = no regression (warnings allowed), 1 = at least one
 regression, 2 = usage/load error.
@@ -73,7 +77,7 @@ def load_cells(path):
 
 def diff(current_path, baseline_path, tolerance, warn_drop, fail_drop,
          min_improve):
-    """One comparison; returns the number of regressed cells."""
+    """One comparison; returns (regressed cell count, warning count)."""
     current, cur_doc = load_cells(current_path)
     baseline, base_doc = load_cells(baseline_path)
 
@@ -130,8 +134,13 @@ def diff(current_path, baseline_path, tolerance, warn_drop, fail_drop,
               f"{base['ops_per_sec']:>14.0f} -> {cur['ops_per_sec']:>14.0f} "
               f"({ratio:5.2f}x)")
 
+    # A cell the baseline gates but the current run never produced is a
+    # coverage hole (a sweep that silently shrank, a bench that bailed out
+    # early): counted as a warning, never silently passed over.
     for key in sorted(baseline.keys() - current.keys()):
-        print(f"      MISS  {key} present only in baseline")
+        print(f"WARNING: MISS {key} present only in baseline "
+              f"(current run produced no such cell)")
+        warnings += 1
     for key in sorted(current.keys() - baseline.keys()):
         print(f"       NEW  {key} present only in current")
 
@@ -144,7 +153,7 @@ def diff(current_path, baseline_path, tolerance, warn_drop, fail_drop,
         ratio, (threads, sched, policy) = best_improvement
         print(f"best improvement: {threads} {sched} {policy} "
               f"at {ratio:.2f}x baseline")
-    return len(regressions)
+    return len(regressions), warnings
 
 
 def resolve(path, manifest_dir):
@@ -166,25 +175,41 @@ def run_manifest(manifest_path, args):
         return 2
     manifest_dir = os.path.dirname(os.path.abspath(manifest_path))
     total_regressions = 0
+    total_warnings = 0
     failed_entries = []
     for entry in manifest.get("entries", []):
         name = entry.get("name", entry.get("current", "?"))
         print(f"\n=== {name} ===")
+        # A malformed entry or a missing *baseline* file is a manifest bug,
+        # not a perf result: count a warning and keep diffing the other
+        # entries instead of dying with a KeyError / FileNotFoundError.
+        if "current" not in entry or "baseline" not in entry:
+            print(f"WARNING: manifest entry '{name}' is malformed "
+                  f"(missing 'current' or 'baseline' field); skipped")
+            total_warnings += 1
+            continue
         current = resolve(entry["current"], manifest_dir)
         baseline = resolve(entry["baseline"], manifest_dir)
         if not os.path.exists(current):
             print(f"cannot load current {current}: missing "
                   f"(was the bench run before the diff step?)")
             return 2
-        n = diff(current, baseline,
-                 entry.get("tolerance", args.tolerance),
-                 entry.get("warn_drop", args.warn_drop),
-                 entry.get("fail_drop", args.fail_drop),
-                 entry.get("min_improve", args.min_improve))
+        if not os.path.exists(baseline):
+            print(f"WARNING: baseline {entry['baseline']} not found "
+                  f"(looked at {baseline}); entry '{name}' skipped")
+            total_warnings += 1
+            continue
+        n, w = diff(current, baseline,
+                    entry.get("tolerance", args.tolerance),
+                    entry.get("warn_drop", args.warn_drop),
+                    entry.get("fail_drop", args.fail_drop),
+                    entry.get("min_improve", args.min_improve))
         total_regressions += n
+        total_warnings += w
         if n:
             failed_entries.append(name)
-    print(f"\n=== manifest summary: {total_regressions} regression(s)"
+    print(f"\n=== manifest summary: {total_regressions} regression(s), "
+          f"{total_warnings} warning(s)"
           + (f" in {', '.join(failed_entries)}" if failed_entries else "")
           + " ===")
     return 1 if total_regressions else 0
@@ -215,9 +240,9 @@ def main():
     if args.current is None or args.baseline is None:
         print("usage: diff_baseline.py CURRENT BASELINE | --manifest FILE")
         return 2
-    return 1 if diff(args.current, args.baseline, args.tolerance,
-                     args.warn_drop, args.fail_drop,
-                     args.min_improve) else 0
+    regressions, _ = diff(args.current, args.baseline, args.tolerance,
+                          args.warn_drop, args.fail_drop, args.min_improve)
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

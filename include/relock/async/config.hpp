@@ -1,0 +1,13 @@
+// Feature gate for the awaitable front-end. Mirrors the RELOCK_TRACE
+// pattern: when the build does not define RELOCK_ASYNC (CMake option off,
+// or the toolchain probe found no usable coroutine support) every header
+// under relock/async/ compiles to nothing, so including them is always
+// safe. __cpp_impl_coroutine is re-checked here because RELOCK_ASYNC can
+// be set by hand on a compiler line that lacks -std=c++20.
+#pragma once
+
+#if defined(RELOCK_ASYNC) && defined(__cpp_impl_coroutine)
+#define RELOCK_ASYNC_ENABLED 1
+#else
+#define RELOCK_ASYNC_ENABLED 0
+#endif

@@ -1,0 +1,196 @@
+// AsyncGate: the awaitable front-end's bridge into ConfigurableLock's
+// private arrival, withdrawal, and quiescence machinery. A suspended
+// coroutine cannot run the lock's waiting engine (there is no thread to
+// spin or park), so the gate replays exactly the registration half of the
+// sync protocols - the lock-free arrival push, the breaker arm, the
+// timeout-vs-grant resolution - on behalf of a WaiterRecord whose grant is
+// delivered through WaiterRecord::grant_hook instead of a polled flag.
+//
+// Contains no coroutine code itself (it is pure lock-protocol glue), but
+// lives under relock/async/ and behind its gate because nothing else
+// needs it.
+#pragma once
+
+#include "relock/async/config.hpp"
+
+#if RELOCK_ASYNC_ENABLED
+
+#include <atomic>
+#include <cstdint>
+
+#include "relock/core/configurable_lock.hpp"
+#include "relock/core/waiter.hpp"
+#include "relock/platform/chk_hooks.hpp"
+
+namespace relock {
+
+template <Platform P>
+struct AsyncGate {
+  static_assert(kRealConcurrency<P>,
+                "the async front-end requires the lock-free arrival paths "
+                "(kRealConcurrency platforms only)");
+
+  using Lock = ConfigurableLock<P>;
+  using Ctx = typename P::Context;
+  using Rec = WaiterRecord<P>;
+
+  /// Where an enqueued record lives, so a later timeout withdrawal knows
+  /// which drain to run first. kCell also covers reader-writer records:
+  /// they are module-enqueued under meta and never sit on the arrival
+  /// stack, so the stack drain must be skipped for them too.
+  enum class EnqueueMode : std::uint8_t { kStack, kCell };
+
+  [[nodiscard]] static typename P::Domain& domain(Lock& lk) noexcept {
+    return lk.domain_;
+  }
+  [[nodiscard]] static Placement flag_placement(Lock& lk, Ctx& ctx) {
+    return lk.grant_flag_placement(ctx);
+  }
+  [[nodiscard]] static bool is_rw(const Lock& lk) noexcept {
+    return lk.rw_capable();
+  }
+
+  /// Arms the conditional-waiter breaker for a timed async wait: a record
+  /// that may be withdrawn off-queue must never be fast-granted or
+  /// pre-selected behind the meta guard's back (same contract as the sync
+  /// paths' BreakerToken). Armed BEFORE the record becomes reachable; the
+  /// timeout resolution waits out releases already in flight.
+  static void arm_breaker(Ctx& ctx, Lock& lk) {
+    chk_point<P>(ctx, "bt.arm");
+    lk.quiesce_breakers_.fetch_add(1, std::memory_order_seq_cst);
+    lk.note(ctx, LockEvent::kBreakerArm);
+  }
+  static void disarm_breaker(Ctx& ctx, Lock& lk) {
+    lk.quiesce_breakers_.fetch_sub(1, std::memory_order_seq_cst);
+    lk.note(ctx, LockEvent::kBreakerDisarm);
+  }
+
+  /// Contended arrival for an exclusive coroutine waiter: the sync
+  /// acquire_scheduled_lockfree / acquire_queue_lockfree push protocols,
+  /// minus the waiting engine. After the record is published a concurrent
+  /// release may grant it - and its hook may resume the frame - at any
+  /// moment, including from inside the lost-release guard below; callers
+  /// must not touch the op after this returns unless they are the only
+  /// party that ever resumes it (the manager executor is).
+  static EnqueueMode enqueue(Ctx& ctx, Lock& lk, Rec& rec) {
+    // Registration + acquisition bookkeeping, as acquire_slow does it.
+    P::store(ctx, lk.registry_, static_cast<std::uint64_t>(ctx.self()) + 1);
+    (void)P::load(ctx, lk.config_word_);
+
+    const SchedulerKind kind = lk.arrival_target_kind();
+    EnqueueMode mode;
+    if (kind == SchedulerKind::kQueue) {
+      // MCS enqueue into the lock-resident cell (acquire_queue_lockfree).
+      rec.qnext.store(nullptr, std::memory_order_relaxed);
+      chk_point<P>(ctx, "qa.swap");
+      Rec* const qprev =
+          lk.queue_cell_.tail.exchange(&rec, std::memory_order_seq_cst);
+      lk.note(ctx, LockEvent::kRegistered, ctx.self());
+      if (qprev != nullptr) {
+        chk_point<P>(ctx, "qa.link");
+        qprev->qnext.store(&rec, std::memory_order_release);
+      } else {
+        chk_point<P>(ctx, "qa.first");
+        lk.queue_cell_.first.store(&rec, std::memory_order_release);
+      }
+      lk.queue_cell_.count.fetch_add(1, std::memory_order_relaxed);
+      mode = EnqueueMode::kCell;
+    } else {
+      // Arrival-stack push (acquire_scheduled_lockfree). kNone also lands
+      // here: a coroutine cannot barge in the TTAS engine, so it rides the
+      // stack and the release module's orphan FIFO hands off directly -
+      // the same machinery that absorbs reconfigure-to-kNone races.
+      rec.arrival_next.store(kArrivalLinkPending, std::memory_order_relaxed);
+      const std::uint64_t prev = P::exchange(
+          ctx, lk.arrivals_,
+          static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&rec)));
+      lk.note(ctx, LockEvent::kRegistered, ctx.self());
+      chk_point<P>(ctx, "arr.link");
+      rec.arrival_next.store(static_cast<std::uintptr_t>(prev),
+                             std::memory_order_release);
+      mode = EnqueueMode::kStack;
+    }
+    lk.waiter_count_.fetch_add(1, std::memory_order_relaxed);
+
+    // Full-mode mark + lost-release Dekker re-check, exactly as the sync
+    // pushes (see acquire_scheduled_lockfree for the two jobs this does).
+    chk_point<P>(ctx, "arr.mark");
+    if (Lock::claimed(P::fetch_or(ctx, lk.state_, Lock::kStateContended)) &&
+        Lock::claimed(P::fetch_or(ctx, lk.state_, Lock::kStateHeld))) {
+      lk.meta_lock(ctx);
+      lk.grant_or_free(ctx, kInvalidThread);  // may grant rec and run its hook
+    }
+    return mode;
+  }
+
+  /// Reader-writer arrival (mirrors acquire_rw). Returns true when entry
+  /// was immediate - the record was never enqueued and the caller resumes
+  /// the frame itself. RW waiters arm no breaker: RW locks never take the
+  /// fast-release path, so there is no epoch to break.
+  static bool enqueue_rw(Ctx& ctx, Lock& lk, Rec& rec, bool shared) {
+    P::store(ctx, lk.registry_, static_cast<std::uint64_t>(ctx.self()) + 1);
+    (void)P::load(ctx, lk.config_word_);
+
+    lk.meta_lock(ctx);
+    if (lk.rw_can_enter(shared)) {
+      lk.rw_enter(ctx, shared);
+      lk.meta_unlock(ctx);
+      if (shared) {
+        lk.monitor_.on_shared_acquire();
+      } else {
+        lk.on_acquired_exclusive(ctx, /*contended=*/false, P::now(ctx));
+      }
+      return true;
+    }
+    Scheduler<P>* target = lk.has_pending_.load(std::memory_order_relaxed)
+                               ? lk.pending_scheduler_.get()
+                               : lk.scheduler_.get();
+    rec.registered_with = target;
+    target->enqueue(rec);
+    lk.waiter_count_.fetch_add(1, std::memory_order_relaxed);
+    lk.meta_unlock(ctx);
+    return false;
+  }
+
+  /// Resolves a timed async wait whose timer fired: the MCS-with-timeout
+  /// self-removal protocol of the sync timed paths. Returns true when the
+  /// record was withdrawn (the timeout wins). Returns false when a grant
+  /// beat the withdrawal - the record's hook has then already run or is
+  /// ordered to run (wait_fast_releases drains any in-flight fast release,
+  /// which posts its hook before retiring), so the op's grant delivery
+  /// must simply be consumed normally.
+  static bool resolve_timeout(Ctx& ctx, Lock& lk, Rec& rec, EnqueueMode mode) {
+    lk.meta_lock(ctx);
+    lk.wait_fast_releases(ctx);
+    if (mode == EnqueueMode::kStack) lk.drain_arrivals(ctx);
+    if (rec.granted_flag_host || P::load(ctx, rec.granted) != 0) {
+      lk.meta_unlock(ctx);
+      return false;
+    }
+    chk_point<P>(ctx, "to.cache");
+    if (lk.next_grant_.load(std::memory_order_relaxed) == &rec) {
+      // A pre-breaker fast release pre-selected us as the next grantee;
+      // the record is on no queue, just empty the cache.
+      lk.next_grant_.store(nullptr, std::memory_order_relaxed);
+    } else {
+      lk.withdraw(ctx, rec);
+    }
+    lk.note(ctx, LockEvent::kTimeoutReturn, rec.tid);
+    lk.meta_unlock(ctx);
+    lk.waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+    lk.monitor_.on_timeout();
+    return true;
+  }
+
+  /// Post-grant bookkeeping, run on the resumed frame's context: the tail
+  /// of the sync granted path. t0 is 0 - async waits carry no wait-time
+  /// sample (the frame was not running to take one).
+  static void complete(Ctx& ctx, Lock& lk, bool shared) {
+    lk.waiter_count_.fetch_sub(1, std::memory_order_relaxed);
+    lk.on_granted(ctx, shared, /*t0=*/0);
+  }
+};
+
+}  // namespace relock
+
+#endif  // RELOCK_ASYNC_ENABLED

@@ -1,0 +1,162 @@
+// AsyncSemaphore: an awaitable counting semaphore - the async counterpart
+// of relock/sync/semaphore.hpp. acquire_async suspends the coroutine when
+// the count is zero; release grants queued frames FIFO and resumes them
+// inline on the releasing thread (or through an Executor when one is
+// bound), mirroring the sync semaphore's direct-grant release.
+#pragma once
+
+#include "relock/async/config.hpp"
+
+#if RELOCK_ASYNC_ENABLED
+
+#include <coroutine>
+#include <cstdint>
+
+#include "relock/core/attributes.hpp"
+#include "relock/core/usage_error.hpp"
+#include "relock/platform/chk_hooks.hpp"
+#include "relock/platform/platform.hpp"
+
+namespace relock::async {
+
+template <Platform P>
+class AsyncSemaphore {
+ public:
+  using Ctx = typename P::Context;
+  using Domain = typename P::Domain;
+
+  explicit AsyncSemaphore(Domain& domain, std::uint32_t initial = 0,
+                          Placement placement = Placement::any())
+      : meta_(domain, 0, placement), count_(initial) {}
+  AsyncSemaphore(const AsyncSemaphore&) = delete;
+  AsyncSemaphore& operator=(const AsyncSemaphore&) = delete;
+
+  class [[nodiscard]] Awaiter {
+   public:
+    Awaiter(AsyncSemaphore& sem, Ctx& launch) : sem_(sem), launch_(launch) {}
+    Awaiter(const Awaiter&) = delete;
+    Awaiter& operator=(const Awaiter&) = delete;
+
+    bool await_ready() { return sem_.try_acquire(launch_); }
+    bool await_suspend(std::coroutine_handle<> h) {
+      node_.handle = h;
+      chk_point<P>(launch_, "co.suspend");
+      sem_.meta_lock(launch_);
+      // Re-check under meta: a release may have landed since await_ready.
+      const std::uint32_t c = sem_.count_;
+      if (c > 0) {
+        sem_.count_ = c - 1;
+        sem_.meta_unlock(launch_);
+        node_.resume_ctx = &launch_;
+        return false;  // resume immediately, permit in hand
+      }
+      sem_.enqueue_locked(node_);
+      sem_.meta_unlock(launch_);
+      // The frame may resume - and this awaiter die - on the releasing
+      // thread the instant meta is dropped; touch nothing after this.
+      return true;
+    }
+    /// Returns the context the frame resumed on.
+    Ctx& await_resume() { return *node_.resume_ctx; }
+
+   private:
+    friend class AsyncSemaphore;
+    struct Node {
+      std::coroutine_handle<> handle{};
+      Ctx* resume_ctx = nullptr;
+      Node* prev = nullptr;
+      Node* next = nullptr;
+      bool queued = false;
+    };
+    AsyncSemaphore& sem_;
+    Ctx& launch_;
+    Node node_;
+  };
+
+  /// `Ctx& rctx = co_await sem.acquire_async(ctx);` - rctx is where the
+  /// frame runs afterwards (the releaser's context when the wait was real).
+  [[nodiscard]] Awaiter acquire_async(Ctx& ctx) { return Awaiter(*this, ctx); }
+
+  bool try_acquire(Ctx& ctx) {
+    meta_lock(ctx);
+    const std::uint32_t c = count_;
+    if (c > 0) count_ = c - 1;
+    meta_unlock(ctx);
+    return c > 0;
+  }
+
+  /// Releases `n` permits, resuming queued frames FIFO on this thread.
+  void release(Ctx& ctx, std::uint32_t n = 1) {
+    if (n == 0) {
+      throw LockUsageError("AsyncSemaphore::release: n must be > 0");
+    }
+    while (n > 0) {
+      meta_lock(ctx);
+      typename Awaiter::Node* node = head_;
+      if (node == nullptr) {
+        count_ += n;
+        meta_unlock(ctx);
+        return;
+      }
+      remove_locked(*node);
+      meta_unlock(ctx);
+      --n;
+      // Grant by resumption: the frame owns its node, so this is the last
+      // touch. The resumed frame may release in turn - bounded recursion
+      // is the cost of the inline handoff, as with InlineExecutor.
+      node->resume_ctx = &ctx;
+      chk_point<P>(ctx, "co.resume");
+      node->handle.resume();
+    }
+  }
+
+  [[nodiscard]] std::uint32_t count_hint(Ctx& ctx) {
+    meta_lock(ctx);
+    const std::uint32_t c = count_;
+    meta_unlock(ctx);
+    return c;
+  }
+
+ private:
+  friend class Awaiter;
+
+  void meta_lock(Ctx& ctx) {
+    for (;;) {
+      if (P::load_relaxed(ctx, meta_) == 0 &&
+          P::fetch_or(ctx, meta_, 1) == 0) {
+        return;
+      }
+      P::pause(ctx);
+    }
+  }
+  void meta_unlock(Ctx& ctx) { P::store(ctx, meta_, 0); }
+
+  void enqueue_locked(typename Awaiter::Node& node) {
+    node.prev = tail_;
+    node.next = nullptr;
+    node.queued = true;
+    if (tail_ != nullptr) {
+      tail_->next = &node;
+    } else {
+      head_ = &node;
+    }
+    tail_ = &node;
+  }
+
+  void remove_locked(typename Awaiter::Node& node) {
+    if (!node.queued) return;
+    if (node.prev != nullptr) node.prev->next = node.next; else head_ = node.next;
+    if (node.next != nullptr) node.next->prev = node.prev; else tail_ = node.prev;
+    node.prev = node.next = nullptr;
+    node.queued = false;
+  }
+
+  typename P::Word meta_;
+  std::uint32_t count_;  ///< guarded by meta
+  typename Awaiter::Node* head_ = nullptr;  ///< guarded by meta
+  typename Awaiter::Node* tail_ = nullptr;  ///< guarded by meta
+};
+
+}  // namespace relock::async
+
+#endif  // RELOCK_ASYNC_ENABLED

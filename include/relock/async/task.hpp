@@ -1,0 +1,90 @@
+// Task: the minimal eager coroutine the async front-end's tests, checker
+// scenarios, and benches drive waiters with. Eager (no initial suspend) so
+// launching a task runs it to its first co_await synchronously on the
+// launching thread - which is where the arrival-order guarantees of the
+// lock come from. Owning: the destructor destroys the frame, even one
+// still suspended mid-body, so an aborted checker schedule (ScheduleAborted
+// unwinding the scenario) reclaims every frame it launched.
+#pragma once
+
+#include "relock/async/config.hpp"
+
+#if RELOCK_ASYNC_ENABLED
+
+#include <atomic>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace relock::async {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    // Suspend at the end: the frame (and promise) stay alive for done() /
+    // error() queries until the owning Task destroys them. The done flag
+    // is published from await_suspend - the coroutine is formally
+    // suspended BEFORE await_suspend runs, so a thread that observes the
+    // flag may destroy the frame even while the completing thread is
+    // still unwinding out of its resume() call. (h_.done() itself is a
+    // plain frame read and would race with a cross-thread completion.)
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().done.store(true, std::memory_order_release);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+    std::exception_ptr error;
+    std::atomic<bool> done{false};
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// True once the body ran to completion (or threw). Safe to poll from a
+  /// thread other than the one completing the frame.
+  [[nodiscard]] bool done() const {
+    return h_ == nullptr ||
+           h_.promise().done.load(std::memory_order_acquire);
+  }
+
+  /// Rethrows the body's escaped exception, if any. (The acquire load in
+  /// done() orders the error write, which precedes the final suspend.)
+  void rethrow() const {
+    if (h_ != nullptr && done() && h_.promise().error) {
+      std::rethrow_exception(h_.promise().error);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (h_ != nullptr) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace relock::async
+
+#endif  // RELOCK_ASYNC_ENABLED

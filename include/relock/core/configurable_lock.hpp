@@ -83,6 +83,7 @@
 
 #include "relock/core/attributes.hpp"
 #include "relock/core/scheduler.hpp"
+#include "relock/core/usage_error.hpp"
 #include "relock/core/waiter.hpp"
 #include "relock/monitor/lock_monitor.hpp"
 #include "relock/platform/backoff.hpp"
@@ -92,18 +93,20 @@
 
 namespace relock {
 
-/// Thrown on lock API misuse that must not slip through release builds:
-/// the silent fallback would corrupt lock semantics (e.g. granting
-/// exclusive ownership to a caller that asked for shared access), so these
-/// checks are hard errors in every build type - unlike the defensive
-/// asserts on internal invariants, which NDEBUG still compiles away.
-class LockUsageError : public std::logic_error {
- public:
-  explicit LockUsageError(const char* what) : std::logic_error(what) {}
-};
+/// The awaitable front-end's bridge into the lock's private arrival /
+/// withdrawal machinery (relock/async/awaiter.hpp). Declared here so
+/// ConfigurableLock can befriend it without including any coroutine
+/// headers in core.
+template <Platform P>
+struct AsyncGate;
 
 template <Platform P>
 class ConfigurableLock {
+  /// The async front-end replays the arrival, withdrawal, and breaker
+  /// protocols on behalf of suspended coroutines; it needs the same access
+  /// a member acquire path has.
+  friend struct AsyncGate<P>;
+
   /// Stand-in for the arrivals word on platforms that keep the meta-guarded
   /// arrival path: allocating a real platform word there would shift the
   /// simulator's round-robin cell placement for every later allocation and
@@ -2025,6 +2028,8 @@ class ConfigurableLock {
     holders_ = 1;
     const ThreadId tid = succ->tid;
     const bool may_sleep = succ->may_sleep;
+    const typename WaiterRecord<P>::GrantHook hook = succ->grant_hook;
+    void* const hook_arg = succ->grant_hook_arg;
     P::store(ctx, owner_, static_cast<std::uint64_t>(tid) + 1);
     monitor_.on_handoff();
     P::store(ctx, succ->granted, 1);
@@ -2033,6 +2038,11 @@ class ConfigurableLock {
       monitor_.on_wakeup();
       P::unblock(ctx, tid);
     }
+    // Coroutine waiter: deliver the grant to its executor. Invoked before
+    // the in-flight count retires so a timeout resolution that drains this
+    // release (wait_fast_releases) is ordered after the delivery. The hook
+    // is the last touch of the record - the resumed frame owns it.
+    if (hook != nullptr) hook(hook_arg, ctx);
     chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
     note(ctx, LockEvent::kFastReleaseEnd);
@@ -2080,6 +2090,20 @@ class ConfigurableLock {
   void grant_or_free(Ctx& ctx, ThreadId hint) {
     ThreadId wake_buf[kWakeInline];
     std::size_t wake_count = 0;
+    // Coroutine waiters granted in this release: their delivery hooks must
+    // run after meta_unlock (a hook may resume a frame that re-enters the
+    // lock), so they are chained here through the granter-owned hook_next
+    // link. Safe to chain before the granted store: a hooked record's
+    // lifetime is owned by the suspended frame, which cannot resume - and
+    // so cannot free the record - until its hook fires below.
+    WaiterRecord<P>* hooked_head = nullptr;
+    WaiterRecord<P>** hooked_tail = &hooked_head;
+    const auto chain_hook = [&](WaiterRecord<P>* w) {
+      if (w->grant_hook == nullptr) return;
+      w->hook_next = nullptr;
+      *hooked_tail = w;
+      hooked_tail = &w->hook_next;
+    };
     const auto queue_wake = [&](ThreadId tid) {
       monitor_.on_wakeup();
       if (wake_count < kWakeInline) {
@@ -2180,6 +2204,7 @@ class ConfigurableLock {
         monitor_.on_handoff();
         const ThreadId tid = w->tid;
         const bool may_sleep = w->may_sleep;
+        chain_hook(w);
         P::store(ctx, w->granted, 1);
         note(ctx, LockEvent::kGranted, tid);
 #ifdef RELOCK_CHECK_SEEDED_BUG_1
@@ -2204,6 +2229,7 @@ class ConfigurableLock {
         monitor_.on_handoff();
         if (w->may_sleep) queue_wake(w->tid);
         const ThreadId shared_tid = w->tid;
+        chain_hook(w);
         P::store(ctx, w->granted, 1);
         note(ctx, LockEvent::kGranted, shared_tid);
         // After this store the record (on the waiter's stack) may disappear
@@ -2215,6 +2241,13 @@ class ConfigurableLock {
     }
     for (std::size_t i = 0; i < wake_count; ++i) {
       P::unblock(ctx, wake_buf[i]);
+    }
+    // Deliver coroutine grants. Each hook is the granter's last touch of
+    // its record: the resumed frame owns it and may free it immediately.
+    for (WaiterRecord<P>* w = hooked_head; w != nullptr;) {
+      WaiterRecord<P>* const next = w->hook_next;
+      w->grant_hook(w->grant_hook_arg, ctx);
+      w = next;
     }
   }
 

@@ -1,0 +1,21 @@
+// LockUsageError: the misuse-guard exception shared by every relock
+// primitive. Split out of configurable_lock.hpp so the sync primitives
+// (condition_variable, semaphore, barrier) and the async front-end can
+// throw it without pulling in the whole lock.
+#pragma once
+
+#include <stdexcept>
+
+namespace relock {
+
+/// Thrown on lock API misuse that must not slip through release builds:
+/// the silent fallback would corrupt lock semantics (e.g. granting
+/// exclusive ownership to a caller that asked for shared access), so these
+/// checks are hard errors in every build type - unlike the defensive
+/// asserts on internal invariants, which NDEBUG still compiles away.
+class LockUsageError : public std::logic_error {
+ public:
+  explicit LockUsageError(const char* what) : std::logic_error(what) {}
+};
+
+}  // namespace relock

@@ -48,6 +48,19 @@ struct WaiterRecord {
 
   Nanos enqueue_time = 0;
 
+  /// Grant-delivery hook: the parker abstraction for waiters that are not
+  /// threads. A thread waiter (hook == nullptr) polls/sleeps on `granted`;
+  /// a coroutine waiter (relock/async/) instead registers a hook that the
+  /// granter invokes AFTER publishing the grant flag and releasing the meta
+  /// guard - the hook posts the suspended frame to its executor. Core stays
+  /// coroutine-free: the hook is a plain function pointer + context arg.
+  using GrantHook = void (*)(void* arg, typename P::Context& granter_ctx);
+  GrantHook grant_hook = nullptr;
+  void* grant_hook_arg = nullptr;
+  /// Granter-owned scratch link: hooked records selected inside one release
+  /// are chained here so their hooks can run after meta_unlock.
+  WaiterRecord* hook_next = nullptr;
+
   /// The scheduler module this record was registered with (set under the
   /// lock's meta guard). Timeout withdrawal must remove the record from the
   /// module that actually holds it — the lock may have been reconfigured

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <vector>
 
 #include "relock/core/attributes.hpp"
+#include "relock/core/usage_error.hpp"
 #include "relock/platform/platform.hpp"
 
 namespace relock {
@@ -31,7 +31,9 @@ class Barrier {
         meta_(domain, 0, placement),
         waiting_(waiting),
         local_sense_(max_threads, 0) {
-    assert(parties_ > 0);
+    if (parties_ == 0) {
+      throw LockUsageError("Barrier: parties must be > 0");
+    }
   }
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
@@ -39,7 +41,11 @@ class Barrier {
   /// Arrives at the barrier and waits for the rest of the generation.
   void arrive_and_wait(Ctx& ctx) {
     const ThreadId tid = ctx.self();
-    assert(tid < local_sense_.size());
+    if (tid >= local_sense_.size()) {
+      // Guard before any state moves: with NDEBUG the old assert compiled
+      // away and the sense write below became an out-of-bounds store.
+      throw LockUsageError("Barrier: thread id exceeds max_threads");
+    }
     const std::uint64_t my_sense = local_sense_[tid] ^ 1u;
     local_sense_[tid] = static_cast<std::uint8_t>(my_sense);
 

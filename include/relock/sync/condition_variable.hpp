@@ -9,6 +9,7 @@
 
 #include <atomic>
 
+#include "relock/core/usage_error.hpp"
 #include "relock/platform/platform.hpp"
 
 namespace relock {
@@ -50,10 +51,16 @@ class ConditionVariable {
   /// The lock is re-acquired either way.
   template <typename L>
   bool wait_for(Ctx& ctx, L& lock, Nanos timeout) {
+    if (timeout == 0) {
+      throw LockUsageError("ConditionVariable::wait_for: timeout must be > 0");
+    }
+    // Anchor the deadline at entry: the unlock below can run a full release
+    // module (direct handoff, sleeper wakes), and anchoring after it would
+    // silently extend the caller's timeout by that much.
+    const Nanos deadline = P::now(ctx) + timeout;
     WaitNode node(ctx.self());
     enqueue(ctx, node);
     lock.unlock(ctx);
-    const Nanos deadline = P::now(ctx) + timeout;
     bool signaled = false;
     for (;;) {
       if (node.signaled.load(std::memory_order_acquire) != 0) {

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 
 #include "relock/core/attributes.hpp"
+#include "relock/core/usage_error.hpp"
 #include "relock/platform/backoff.hpp"
 #include "relock/platform/platform.hpp"
 
@@ -32,7 +32,9 @@ class Semaphore {
 
   /// Timed acquisition (overrides the timeout attribute for this call).
   bool acquire_for(Ctx& ctx, Nanos timeout) {
-    assert(timeout > 0);
+    if (timeout == 0) {
+      throw LockUsageError("Semaphore::acquire_for: timeout must be > 0");
+    }
     return acquire_impl(ctx, timeout);
   }
 

@@ -1,0 +1,69 @@
+// Checker scenarios for the async front-end (relock/async/): coroutine
+// suspension and resumption become engine points ("co.suspend",
+// "co.resume", "mgr.post", "mgr.park"), so the DFS explores grant
+// delivery, timeout withdrawal, and manager parking against the lock's
+// ordinary paths. Compiles to nothing when the build has no coroutine
+// support (RELOCK_ASYNC_ENABLED == 0), same pattern as the headers it
+// tests.
+#pragma once
+
+#include "relock/async/config.hpp"
+
+#if RELOCK_ASYNC_ENABLED
+
+#include "check_scenarios.hpp"
+#include "relock/async/awaiter.hpp"
+#include "relock/async/manager.hpp"
+#include "relock/async/task.hpp"
+
+namespace relock::chk::scenarios {
+
+/// A coroutine's timed acquisition races the holder's release AND a
+/// scheduler reconfiguration: the grant hook may fire from the holder's
+/// fast release or the FCFS module, the manager's timer may withdraw the
+/// record first (the async analogue of MCS-with-timeout self-removal,
+/// with the standing breaker pinning the lock out of fissile mode), and
+/// the kFcfs -> kPriorityQueue swap's quiescence epoch overlaps both.
+/// kNone fairness: the reconfiguration splits generations and a timed
+/// waiter may withdraw, so only conservation / exclusion / epoch oracles
+/// apply.
+inline Scenario async_grant2() {
+  Scenario s;
+  s.name = "async_grant2";
+  s.fairness = FairnessMode::kNone;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs, LockAttributes::blocking());
+    f.add_thread(1, [lk](Context& ctx) {
+      lk->lock(ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+      lk->configure_scheduler(ctx, SchedulerKind::kPriorityQueue);
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      async::ManagerExecutor<CheckPlatform> mgr;
+      async::AsyncLock<CheckPlatform> alk(*lk, mgr);
+      async::Task t = [](async::AsyncLock<CheckPlatform>& alk_,
+                         Context& launch) -> async::Task {
+        async::AsyncGrant<CheckPlatform> g =
+            co_await alk_.try_lock_for_async(launch, 300);
+        if (g) {
+          g.ctx().cs_enter();
+          g.ctx().cs_exit();
+          g.unlock();
+        }
+      }(alk, ctx);
+      mgr.run_until(ctx, [&t] { return t.done(); });
+      // A ScheduleAborted thrown inside the resumed frame lands in the
+      // task's promise (coroutines trap escaping exceptions); re-raise it
+      // so the engine sees the abort unwind this thread like any other.
+      t.rethrow();
+    });
+  };
+  return s;
+}
+
+}  // namespace relock::chk::scenarios
+
+#endif  // RELOCK_ASYNC_ENABLED

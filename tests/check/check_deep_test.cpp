@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check_async_scenarios.hpp"
 #include "check_engine_scenarios.hpp"
 #include "check_scenarios.hpp"
 #include "check_table_scenarios.hpp"
@@ -71,6 +72,12 @@ TEST(RelockCheckDeep, QueueTimeout2Bound3) {
 TEST(RelockCheckDeep, QueueConfig2Bound3) {
   expect_exhaustive(scenarios::queue_config2(), 3);
 }
+
+#if RELOCK_ASYNC_ENABLED
+TEST(RelockCheckDeep, AsyncGrant2Bound3) {
+  expect_exhaustive(scenarios::async_grant2(), 3);
+}
+#endif
 
 TEST(RelockCheckDeep, Fanout3Bound3) {
   expect_exhaustive(scenarios::fanout3(), 3);

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "check_async_scenarios.hpp"
 #include "check_engine_scenarios.hpp"
 #include "check_scenarios.hpp"
 #include "relock/check/strategies.hpp"
@@ -97,6 +98,14 @@ TEST(RelockCheckSmoke, EngineStorm2Exhaustive) {
   // module is installed or pending.
   expect_exhaustive(scenarios::engine_storm2(), 2);
 }
+
+#if RELOCK_ASYNC_ENABLED
+TEST(RelockCheckSmoke, AsyncGrant2Exhaustive) {
+  // A coroutine's timed wait (manager executor: inbox post, timer
+  // withdrawal, resume) races the holder's grant and a scheduler swap.
+  expect_exhaustive(scenarios::async_grant2(), 2);
+}
+#endif
 
 TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
   // Snapshot-coherent monitor reset racing a lock/unlock stream: the

@@ -13,6 +13,9 @@
 
 #include "relock/core/configurable_lock.hpp"
 #include "relock/platform/native.hpp"
+#include "relock/sync/barrier.hpp"
+#include "relock/sync/condition_variable.hpp"
+#include "relock/sync/semaphore.hpp"
 
 namespace {
 
@@ -86,6 +89,76 @@ TEST(TimeoutAccuracy, QueuedMonitorOff) {
 
 TEST(TimeoutAccuracy, QueuedMonitorOn) {
   expect_timeout_accurate(SchedulerKind::kFcfs, /*monitor_on=*/true);
+}
+
+// sync/ primitives carry the same contract: the deadline anchors when the
+// timed call ENTERS, before any internal unlock/enqueue work. The CV case
+// is the PR 10 regression - wait_for used to compute its deadline after
+// releasing the caller's lock, so a release that ran a full handoff module
+// silently extended the timeout.
+TEST(TimeoutAccuracy, ConditionVariableAnchorsDeadlineAtEntry) {
+  native::Domain domain;
+  Lock::Options opts;
+  opts.scheduler = SchedulerKind::kFcfs;
+  opts.attributes = LockAttributes::blocking();
+  Lock lock(domain, opts);
+  ConditionVariable<NP> cv(domain);
+
+  native::Context ctx(domain);
+  lock.lock(ctx);
+  const auto start = Clock::now();
+  const bool signaled = cv.wait_for(ctx, lock, kTimeoutNs);
+  const auto elapsed = Clock::now() - start;
+  lock.unlock(ctx);
+
+  EXPECT_FALSE(signaled);
+  EXPECT_GE(elapsed, kTimeout - std::chrono::milliseconds(2));
+  EXPECT_LE(elapsed, kTimeout + kSlack);
+}
+
+TEST(TimeoutAccuracy, SemaphoreAnchorsDeadlineAtEntry) {
+  native::Domain domain;
+  Semaphore<NP> sem(domain, /*initial=*/0,
+                    Placement::any(), LockAttributes::blocking());
+
+  native::Context ctx(domain);
+  const auto start = Clock::now();
+  const bool acquired = sem.acquire_for(ctx, kTimeoutNs);
+  const auto elapsed = Clock::now() - start;
+
+  EXPECT_FALSE(acquired);
+  EXPECT_GE(elapsed, kTimeout - std::chrono::milliseconds(2));
+  EXPECT_LE(elapsed, kTimeout + kSlack);
+  // The withdrawal left the queue clean: a release hands the permit to the
+  // counter, not a ghost node, and a fresh acquire consumes it.
+  sem.release(ctx);
+  EXPECT_TRUE(sem.acquire_for(ctx, kTimeoutNs));
+}
+
+TEST(TimeoutAccuracy, BarrierSleepersWakePromptly) {
+  // The barrier has no timed user API; its deadline discipline is the
+  // sleep-phase bound (attrs.sleep_ns) re-checked against the sense word.
+  // A last arriver must release a sleeping waiter well inside one sleep
+  // quantum, not strand it until timer expiry.
+  native::Domain domain;
+  Barrier<NP> barrier(domain, /*parties=*/2, Placement::any(),
+                      LockAttributes::blocking());
+
+  std::thread other([&] {
+    native::Context ctx(domain);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    barrier.arrive_and_wait(ctx);
+  });
+
+  native::Context ctx(domain);
+  const auto start = Clock::now();
+  barrier.arrive_and_wait(ctx);
+  const auto elapsed = Clock::now() - start;
+  other.join();
+
+  // ~30ms of genuine waiting plus wake latency; anything near a blocking
+  // policy's full sleep quantum (kForever) would hang the test instead.
+  EXPECT_LE(elapsed, std::chrono::milliseconds(30) + kSlack);
 }
 
 TEST(TimeoutAccuracy, TimeoutIsCountedByTheMonitor) {
