@@ -54,11 +54,18 @@ class AsyncGrant {
 
   ~AsyncGrant() {
     if (lock_ == nullptr) return;
-    // During an exception unwind (the checker's schedule abort foremost)
-    // the release protocol must not run: its scheduling points throw, and
-    // a throw during unwind terminates. The schedule being discarded, the
-    // held lock is abandoned exactly like a sync scenario's would be.
-    if (std::uncaught_exceptions() != 0) return;
+    if constexpr (kCheckedPlatform<P>) {
+      // During the checker's schedule-abort unwind the release protocol
+      // must not run: its scheduling points throw, and a throw during
+      // unwind terminates. The schedule being discarded, the held lock is
+      // abandoned exactly like a sync scenario's would be. Only an unwind
+      // that began after this grant existed qualifies - a grant destroyed
+      // by ordinary code while an unrelated exception happens to be in
+      // flight still releases. Native builds never take this branch:
+      // there RAII means RAII, and an exception thrown through a held
+      // grant unlocks on the way out.
+      if (std::uncaught_exceptions() > unwind_base_) return;
+    }
     unlock();
   }
 
@@ -82,6 +89,11 @@ class AsyncGrant {
   Lock* lock_ = nullptr;
   Ctx* ctx_ = nullptr;
   bool shared_ = false;
+  /// std::uncaught_exceptions() when this grant came to exist (move
+  /// construction re-baselines: the new object's scope is the one that
+  /// matters). The checker's abandon test compares against it so only a
+  /// scope actually being unwound skips the release.
+  int unwind_base_ = std::uncaught_exceptions();
 };
 
 /// The awaiter. Lives in the coroutine frame for the whole co_await, so

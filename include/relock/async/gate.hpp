@@ -155,10 +155,13 @@ struct AsyncGate {
   /// Resolves a timed async wait whose timer fired: the MCS-with-timeout
   /// self-removal protocol of the sync timed paths. Returns true when the
   /// record was withdrawn (the timeout wins). Returns false when a grant
-  /// beat the withdrawal - the record's hook has then already run or is
-  /// ordered to run (wait_fast_releases drains any in-flight fast release,
-  /// which posts its hook before retiring), so the op's grant delivery
-  /// must simply be consumed normally.
+  /// beat the withdrawal - the granted flag is published before a fast
+  /// release retires from the in-flight epoch, so after wait_fast_releases
+  /// the re-check below observes every such grant; the hook delivery may
+  /// still be in flight on the granter (it fires after the retire, outside
+  /// the epoch, so an inline-resumed frame's unlock cannot deadlock against
+  /// this meta-held drain) and arrives as an ordinary grant message for the
+  /// caller to consume normally.
   static bool resolve_timeout(Ctx& ctx, Lock& lk, Rec& rec, EnqueueMode mode) {
     lk.meta_lock(ctx);
     lk.wait_fast_releases(ctx);

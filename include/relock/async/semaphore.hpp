@@ -37,7 +37,13 @@ class AsyncSemaphore {
     Awaiter(const Awaiter&) = delete;
     Awaiter& operator=(const Awaiter&) = delete;
 
-    bool await_ready() { return sem_.try_acquire(launch_); }
+    bool await_ready() {
+      if (!sem_.try_acquire(launch_)) return false;
+      // Permit in hand with no suspension: the frame stays on the
+      // launching context, and await_resume reads it from the node.
+      node_.resume_ctx = &launch_;
+      return true;
+    }
     bool await_suspend(std::coroutine_handle<> h) {
       node_.handle = h;
       chk_point<P>(launch_, "co.suspend");

@@ -2023,7 +2023,8 @@ class ConfigurableLock {
     // the grant-flag store last - the one store the new owner's critical
     // section is ordered after. The epilogue below the store touches only
     // the in-flight count (hence a counter, not a flag: it may overlap the
-    // new owner's own fast release).
+    // new owner's own fast release) and, after retiring it, the coroutine
+    // grant-hook delivery.
     chk_point<P>(ctx, "fr.publish");
     holders_ = 1;
     const ThreadId tid = succ->tid;
@@ -2038,14 +2039,20 @@ class ConfigurableLock {
       monitor_.on_wakeup();
       P::unblock(ctx, tid);
     }
-    // Coroutine waiter: deliver the grant to its executor. Invoked before
-    // the in-flight count retires so a timeout resolution that drains this
-    // release (wait_fast_releases) is ordered after the delivery. The hook
-    // is the last touch of the record - the resumed frame owns it.
-    if (hook != nullptr) hook(hook_arg, ctx);
     chk_point<P>(ctx, "fr.retire");
     fast_releases_inflight_.fetch_sub(1, std::memory_order_seq_cst);
     note(ctx, LockEvent::kFastReleaseEnd);
+    // Coroutine waiter: deliver the grant to its executor, AFTER the
+    // in-flight count retires. The granted flag is published above, so a
+    // timeout resolution that drains this release (wait_fast_releases with
+    // meta held) re-checks the flag, observes the grant, and stands down to
+    // consume the - possibly still in-flight - delivery. Firing the hook
+    // inside the in-flight window would deadlock an inline executor: the
+    // resumed frame's unlock (forced onto the guarded path by the contended
+    // bit) blocks on meta while the meta holder spins on the in-flight
+    // count. The hook is the last touch of the record - the resumed frame
+    // owns it.
+    if (hook != nullptr) hook(hook_arg, ctx);
     // Oversubscribed processor: give the grantee a chance to run now
     // rather than after our quantum expires re-contending the lock.
     if (P::oversubscribed(ctx)) P::yield(ctx);

@@ -27,6 +27,14 @@ namespace relock {
 /// kept: "ChkEvent" at a call site signals the event feeds an oracle.
 using ChkEvent = LockEvent;
 
+/// True exactly on the check platform - the only platform defining the
+/// hook statics. For the rare cases where instrumentation alone is not
+/// enough and behavior must differ (e.g. destructors that would rethrow
+/// the checker's schedule-abort exception mid-unwind).
+template <typename P>
+inline constexpr bool kCheckedPlatform =
+    requires(typename P::Context& ctx) { P::chk_point(ctx, ""); };
+
 /// A scheduling point: under the checker the calling model thread may be
 /// preempted here. `tag` names the transition in failure traces.
 template <typename P>

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -272,7 +273,10 @@ TEST(Async, SemaphoreGrantsFifo) {
 
   bool immediate = false;
   auto third = [&]() -> Task {
-    (void)co_await sem.acquire_async(ctx);
+    native::Context& rctx = co_await sem.acquire_async(ctx);
+    // Regression: the banked-permit path (await_ready true, no suspension)
+    // must still publish the resume context - it is the launch context.
+    EXPECT_EQ(&rctx, &ctx);
     immediate = true;
   };
   Task c = third();
@@ -280,6 +284,57 @@ TEST(Async, SemaphoreGrantsFifo) {
   c.rethrow();
   EXPECT_TRUE(immediate);
   EXPECT_EQ(sem.count_hint(ctx), 0u);
+}
+
+TEST(Async, GrantReleasesDuringExceptionUnwind) {
+  // Regression: a user exception thrown through a held AsyncGrant must
+  // unlock on the way out (native RAII), not abandon the lock. The
+  // abandon-on-unwind behavior is reserved for the checker's
+  // schedule-abort (see kCheckedPlatform in the destructor).
+  native::Domain domain;
+  native::Context ctx(domain);
+  Lock lock(domain, fcfs_opts());
+  InlineExecutor<NP> exec;
+  AsyncLock<NP> alk(lock, exec);
+
+  auto body = [&]() -> Task {
+    AsyncGrant<NP> g = co_await alk.lock_async(ctx);
+    EXPECT_TRUE(g.acquired());
+    throw std::runtime_error("boom");
+  };
+  Task t = body();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow(), std::runtime_error);
+  // The unwind released the lock: a plain cycle works and no waiter hangs.
+  EXPECT_TRUE(lock.try_lock(ctx));
+  lock.unlock(ctx);
+}
+
+TEST(Async, GrantReleasesWhenDestroyedDuringUnrelatedUnwind) {
+  // A grant destroyed by ordinary code while some other exception is in
+  // flight (a container of grants cleared in a destructor, say) is NOT
+  // being unwound itself and must release.
+  native::Domain domain;
+  native::Context ctx(domain);
+  Lock lock(domain, fcfs_opts());
+  InlineExecutor<NP> exec;
+  AsyncLock<NP> alk(lock, exec);
+
+  struct Holder {
+    std::vector<AsyncGrant<NP>> grants;
+    ~Holder() { grants.clear(); }
+  };
+  auto body = [&]() -> Task {
+    Holder h;
+    h.grants.push_back(co_await alk.lock_async(ctx));
+    EXPECT_TRUE(h.grants.back().acquired());
+    throw std::runtime_error("boom");  // ~Holder runs mid-unwind
+  };
+  Task t = body();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow(), std::runtime_error);
+  EXPECT_TRUE(lock.try_lock(ctx));
+  lock.unlock(ctx);
 }
 
 TEST(Async, ManyWaitersDrainInArrivalOrder) {

@@ -64,6 +64,61 @@ inline Scenario async_grant2() {
   return s;
 }
 
+/// Regression (review finding, PR 10): the fissile fast release must fire
+/// the coroutine grant hook only AFTER retiring from the in-flight epoch.
+/// An inline-executed frame unlocks through the meta-guarded path (its
+/// arrival set the contended bit), so with the hook still inside the
+/// epoch that unlock blocks on meta while a timed waiter holds meta
+/// spinning in wait_fast_releases on the never-retiring count - a
+/// deadlock schedule that blows the step budget under the old ordering.
+/// Holder + untimed inline-executor coroutine + sync lock_for on one
+/// FCFS blocking lock (blocking so the timed waiter parks and the DFS can
+/// fire its timeout as an action mid-release - a spinning waiter would
+/// need hundreds of literal clock steps); kNone fairness (the timed
+/// waiter may withdraw).
+inline Scenario async_inline2() {
+  Scenario s;
+  s.name = "async_inline2";
+  s.fairness = FairnessMode::kNone;
+  s.build = [](ScenarioFrame& f) {
+    auto lk = make_lock(f, SchedulerKind::kFcfs, LockAttributes::blocking());
+    f.add_thread(1, [lk](Context& ctx) {
+      // Hold first, then launch: the coroutine always finds the lock
+      // taken, suspends, and is resumed inline from inside an unlock.
+      // The launcher's own registration closed when lock() granted, so
+      // the frame's record may reuse this thread's tid.
+      lk->lock(ctx);
+      async::InlineExecutor<CheckPlatform> inl;
+      async::AsyncLock<CheckPlatform> alk(*lk, inl);
+      async::Task t = [](async::AsyncLock<CheckPlatform>& alk_,
+                         Context& launch) -> async::Task {
+        async::AsyncGrant<CheckPlatform> g = co_await alk_.lock_async(launch);
+        g.ctx().cs_enter();
+        g.ctx().cs_exit();
+        g.unlock();
+      }(alk, ctx);
+      ctx.cs_enter();
+      ctx.cs_exit();
+      CheckPlatform::yield(ctx);
+      lk->unlock(ctx);
+      // The frame resumes inside whichever unlock grants it (ours, or the
+      // timed waiter's); wait it out so every oracle settles.
+      while (!t.done()) CheckPlatform::yield(ctx);
+      t.rethrow();
+    });
+    f.add_thread(1, [lk](Context& ctx) {
+      // The sync timed wait whose withdrawal drains the in-flight epoch
+      // under meta - the other half of the old deadlock.
+      if (lk->lock_for(ctx, 300)) {
+        ctx.cs_enter();
+        ctx.cs_exit();
+        lk->unlock(ctx);
+      }
+    });
+  };
+  return s;
+}
+
 }  // namespace relock::chk::scenarios
 
 #endif  // RELOCK_ASYNC_ENABLED

@@ -77,6 +77,10 @@ TEST(RelockCheckDeep, QueueConfig2Bound3) {
 TEST(RelockCheckDeep, AsyncGrant2Bound3) {
   expect_exhaustive(scenarios::async_grant2(), 3);
 }
+
+TEST(RelockCheckDeep, AsyncInline2Bound3) {
+  expect_exhaustive(scenarios::async_inline2(), 3);
+}
 #endif
 
 TEST(RelockCheckDeep, Fanout3Bound3) {

@@ -105,6 +105,13 @@ TEST(RelockCheckSmoke, AsyncGrant2Exhaustive) {
   // withdrawal, resume) races the holder's grant and a scheduler swap.
   expect_exhaustive(scenarios::async_grant2(), 2);
 }
+
+TEST(RelockCheckSmoke, AsyncInline2Exhaustive) {
+  // Regression: an inline-resumed frame's unlock vs a timed waiter
+  // draining the fast-release epoch under meta - deadlocks if the grant
+  // hook fires before the in-flight count retires.
+  expect_exhaustive(scenarios::async_inline2(), 2);
+}
 #endif
 
 TEST(RelockCheckSmoke, MonitorReset2Exhaustive) {
